@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at simulator
+scale (fewer nodes, fewer rounds, smaller synthetic models), prints the same
+rows/series the paper reports and writes them to ``benchmarks/output/`` so
+that EXPERIMENTS.md can quote them.  The absolute numbers differ from the
+paper's 96-node testbed; the *shape* (who wins, by roughly what factor) is
+what the assertions check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.simulation.experiment import ExperimentConfig
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def save_report(name: str, text: str) -> None:
+    """Write a benchmark report to benchmarks/output/<name>.txt and echo it."""
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n[{name}]\n{text}\n(written to {path})")
+
+
+def scale_down(
+    config: ExperimentConfig,
+    num_nodes: int = 8,
+    degree: int = 4,
+    rounds: int = 16,
+    eval_every: int = 4,
+    eval_test_samples: int = 128,
+) -> ExperimentConfig:
+    """Shrink a workload configuration so a benchmark finishes in seconds."""
+
+    return replace(
+        config,
+        num_nodes=num_nodes,
+        degree=min(degree, num_nodes - 1),
+        rounds=rounds,
+        eval_every=eval_every,
+        eval_test_samples=eval_test_samples,
+    )
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR

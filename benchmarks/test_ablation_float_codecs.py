@@ -1,0 +1,91 @@
+"""Design-choice ablation: parameter-payload compression codecs.
+
+Section IV-B e of the paper: "we empirically assessed multiple compression
+algorithms ... We chose Fpzip since it performed the best across our
+experiments."  This benchmark compares the Fpzip-like predictive codec against
+plain DEFLATE, LZMA, raw 32-bit floats and QSGD quantization on a trained
+model's parameter vector, reporting compressed size (and, for the lossy
+quantizer, the reconstruction error).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import save_report
+from repro.compression.float_codec import (
+    DeflateFloatCodec,
+    FloatCodec,
+    LzmaFloatCodec,
+    RawFloatCodec,
+)
+from repro.compression.quantization import QsgdQuantizer
+from repro.datasets import make_cifar10_task
+from repro.datasets.base import iterate_minibatches
+from repro.evaluation import format_table
+from repro.nn.module import get_flat_parameters
+from repro.nn.optim import SGD
+from repro.utils.rng import derive_rng
+
+
+def _trained_parameters() -> np.ndarray:
+    task = make_cifar10_task(seed=8, train_samples=192, test_samples=48, noise=1.0)
+    model = task.make_model(derive_rng(8, "model"))
+    loss = task.make_loss()
+    optimizer = SGD(model.parameters(), lr=0.05)
+    batch_rng = derive_rng(8, "batches")
+    for _ in range(2):
+        for inputs, targets in iterate_minibatches(task.train, 16, batch_rng):
+            model.zero_grad()
+            loss.forward(model.forward(inputs), targets)
+            model.backward(loss.backward())
+            optimizer.step()
+    return get_flat_parameters(model)
+
+
+def _run():
+    parameters = _trained_parameters()
+    sizes: dict[str, int] = {}
+    errors: dict[str, float] = {}
+    for name, codec in [
+        ("raw float32", RawFloatCodec()),
+        ("fpzip-like (predictive+deflate)", FloatCodec()),
+        ("deflate", DeflateFloatCodec()),
+        ("lzma", LzmaFloatCodec()),
+    ]:
+        compressed = codec.compress(parameters)
+        restored = codec.decompress(compressed)
+        sizes[name] = compressed.size_bytes
+        errors[name] = float(np.max(np.abs(restored - parameters.astype(np.float32))))
+    quantizer = QsgdQuantizer(bits=4, rng=derive_rng(8, "quantizer"))
+    quantized = quantizer.quantize(parameters)
+    sizes["qsgd 4-bit (lossy)"] = quantized.size_bytes
+    errors["qsgd 4-bit (lossy)"] = float(
+        np.max(np.abs(quantizer.dequantize(quantized) - parameters))
+    )
+    return parameters.size, sizes, errors
+
+
+def test_ablation_float_codecs(benchmark):
+    model_size, sizes, errors = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    raw = sizes["raw float32"]
+    rows = [
+        [name, f"{size / 1024:.1f} KiB", f"{100 * size / raw:.1f}%", f"{errors[name]:.2e}"]
+        for name, size in sorted(sizes.items(), key=lambda item: item[1])
+    ]
+    report = f"model: {model_size} parameters\n"
+    report += format_table(["codec", "compressed size", "vs raw", "max abs error"], rows)
+    report += "\npaper: Fpzip chosen as the best general-purpose float compressor"
+    save_report("ablation_float_codecs", report)
+
+    # Lossless codecs are exact at float32 precision.
+    for name in ("fpzip-like (predictive+deflate)", "deflate", "lzma"):
+        assert errors[name] == 0.0
+    # The predictive codec does not lose to plain DEFLATE on model payloads.
+    assert sizes["fpzip-like (predictive+deflate)"] <= sizes["deflate"] * 1.02
+    # Every lossless compressor beats raw 32-bit floats.
+    assert sizes["fpzip-like (predictive+deflate)"] < raw
+    # Aggressive quantization is much smaller but lossy.
+    assert sizes["qsgd 4-bit (lossy)"] < 0.3 * raw
+    assert errors["qsgd 4-bit (lossy)"] > 0.0

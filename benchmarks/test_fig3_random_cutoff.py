@@ -1,0 +1,56 @@
+"""Figure 3: the randomized cut-off in action.
+
+Left chart of the paper: the sharing percentages picked by the 96 nodes in one
+round spread over the whole alpha list.  Right chart: the average shared
+fraction across nodes hovers around the distribution's expectation (~37%)
+over the course of training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import save_report
+from repro.core.cutoff import CutoffDistribution
+from repro.evaluation import format_table
+from repro.utils.rng import derive_rng
+
+NUM_NODES = 96
+ROUNDS = 200
+
+
+def _run():
+    distribution = CutoffDistribution.uniform()
+    per_node_round0 = []
+    per_round_average = []
+    for round_index in range(ROUNDS):
+        alphas = [
+            distribution.sample(derive_rng(1, "cutoff", node, round_index))
+            for node in range(NUM_NODES)
+        ]
+        if round_index == 0:
+            per_node_round0 = alphas
+        per_round_average.append(float(np.mean(alphas)))
+    return distribution, per_node_round0, per_round_average
+
+
+def test_fig3_random_cutoff(benchmark):
+    distribution, round0, averages = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    histogram = {alpha: round0.count(alpha) for alpha in sorted(set(round0))}
+    report_rows = [[f"{100 * alpha:.0f}%", count] for alpha, count in histogram.items()]
+    report = "Shared fraction chosen by 96 nodes in one round (Figure 3 left):\n"
+    report += format_table(["alpha", "nodes"], report_rows)
+    report += (
+        f"\n\nAverage shared fraction over {ROUNDS} rounds (Figure 3 right): "
+        f"mean={100 * np.mean(averages):.1f}%  min={100 * np.min(averages):.1f}%  "
+        f"max={100 * np.max(averages):.1f}%"
+    )
+    report += f"\nexpected fraction of the distribution: {100 * distribution.expected_fraction():.1f}%"
+    save_report("fig3_random_cutoff", report)
+
+    # Left chart shape: many distinct fractions in a single round.
+    assert len(set(round0)) >= 5
+    # Right chart shape: the per-round average stays near the expectation.
+    assert abs(np.mean(averages) - distribution.expected_fraction()) < 0.02
+    assert np.std(averages) < 0.1

@@ -1,0 +1,97 @@
+"""Figure 6: JWINS vs CHOCO-SGD under 20% and 10% communication budgets.
+
+Paper result: at the same budget JWINS reaches the target accuracy up to 3.9x
+faster than CHOCO and ends up 2.4-9.3% more accurate for the same bytes, and
+the gap widens as the budget shrinks ("the performance gap gets stronger in
+favor of JWINS as the communication budget gets smaller").  CHOCO additionally
+needs its consensus step size gamma tuned per budget (0.6 at 20%, 0.1 at 10%).
+
+At simulator scale single runs of the 20% setting are noisy, so the benchmark
+runs both budgets and asserts the paper's robust claims: budget compliance,
+a clear JWINS win at the tight 10% budget, and a JWINS-vs-CHOCO gap that grows
+as the budget shrinks.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report, scale_down
+from repro.baselines import choco_factory, full_sharing_factory
+from repro.core import JwinsConfig, jwins_factory
+from repro.evaluation import format_table, get_workload
+from repro.simulation import run_experiment
+
+GAMMAS = {0.2: 0.6, 0.1: 0.1}
+BUDGETS = (0.2, 0.1)
+
+
+def _run():
+    workload = get_workload("cifar10")
+    task = workload.make_task(seed=2)
+    config = scale_down(workload.config, num_nodes=8, rounds=18, eval_every=3)
+    full = run_experiment(task, full_sharing_factory(), config, scheme_name="full-sharing")
+    per_budget = {}
+    for budget in BUDGETS:
+        per_budget[budget] = {
+            "jwins": run_experiment(
+                task, jwins_factory(JwinsConfig.low_budget(budget)), config, scheme_name="jwins"
+            ),
+            "choco": run_experiment(
+                task,
+                choco_factory(fraction=budget, gamma=GAMMAS[budget]),
+                config,
+                scheme_name="choco",
+            ),
+        }
+    return full, per_budget
+
+
+def test_fig6_jwins_vs_choco(benchmark):
+    full, per_budget = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rows = [
+        [
+            "100% (reference)",
+            "full-sharing",
+            f"{100 * full.final_accuracy:.1f}%",
+            f"{full.final_loss:.3f}",
+            f"{full.average_bytes_per_node / 2**20:.2f} MiB",
+            f"{full.simulated_time_seconds:.1f} s",
+        ]
+    ]
+    for budget, results in per_budget.items():
+        for scheme, result in results.items():
+            rows.append(
+                [
+                    f"{int(100 * budget)}%",
+                    scheme,
+                    f"{100 * result.final_accuracy:.1f}%",
+                    f"{result.final_loss:.3f}",
+                    f"{result.average_bytes_per_node / 2**20:.2f} MiB",
+                    f"{result.simulated_time_seconds:.1f} s",
+                ]
+            )
+    report = format_table(
+        ["budget", "scheme", "final acc", "test loss", "bytes/node", "sim. time"], rows
+    )
+    report += (
+        "\npaper: JWINS >= CHOCO at both budgets, with the gap growing as the budget shrinks"
+    )
+    save_report("fig6_jwins_vs_choco", report)
+
+    gaps = {}
+    for budget, results in per_budget.items():
+        jwins = results["jwins"]
+        choco = results["choco"]
+        # Both budgeted schemes respect the budget (well under half of full sharing).
+        assert jwins.total_bytes < 0.45 * full.total_bytes
+        assert choco.total_bytes < 0.45 * full.total_bytes
+        # Both still learn something under the budget.
+        assert jwins.final_accuracy > 0.3
+        gaps[budget] = jwins.final_accuracy - choco.final_accuracy
+
+    # Clear JWINS win at the tight 10% budget (paper: +9.3% accuracy).
+    assert gaps[0.1] > 0.02
+    # The gap moves in JWINS' favour as the budget shrinks (paper's headline shape).
+    assert gaps[0.1] >= gaps[0.2] - 0.02
+    # At the 20% budget both are in the same league (paper: JWINS +2.4%).
+    assert gaps[0.2] > -0.20

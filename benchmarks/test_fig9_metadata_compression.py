@@ -1,0 +1,39 @@
+"""Figure 9: sparsification metadata with and without Elias-gamma compression.
+
+Paper result: without compression the index metadata is as large as the model
+payload itself (~50% of the message); the delta + Elias-gamma codec shrinks it
+by ~9.9x, making the metadata overhead negligible.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report
+from repro.evaluation import format_table, metadata_compression_experiment
+
+
+def _run():
+    return metadata_compression_experiment(model_size=20000, rounds=20, seed=1)
+
+
+def test_fig9_metadata_compression(benchmark):
+    comparison = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rows = [
+        ["model parameters (compressed values)", f"{comparison.values_bytes / 2**20:.2f} MiB"],
+        ["metadata, raw 32-bit indices", f"{comparison.raw_metadata_bytes / 2**20:.2f} MiB"],
+        ["metadata, delta + Elias gamma", f"{comparison.compressed_metadata_bytes / 2**20:.2f} MiB"],
+    ]
+    report = format_table(["payload component", "size"], rows)
+    report += (
+        f"\n\nmetadata compression ratio: {comparison.compression_ratio:.1f}x "
+        "(paper: 9.9x)\n"
+        f"uncompressed metadata share of the message: "
+        f"{100 * comparison.raw_metadata_fraction:.1f}% (paper: ~50%)"
+    )
+    save_report("fig9_metadata_compression", report)
+
+    # Without compression roughly half of the message is metadata.
+    assert 0.35 <= comparison.raw_metadata_fraction <= 0.60
+    # Elias gamma shrinks the metadata by several times (paper: 9.9x).
+    assert comparison.compression_ratio > 5.0
+    assert comparison.compressed_metadata_bytes < 0.2 * comparison.values_bytes

@@ -1,0 +1,59 @@
+"""Quickstart: train 8 decentralized nodes with JWINS and compare to full sharing.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds a small CIFAR-10-like non-IID workload, runs D-PSGD with the
+full-sharing baseline and with JWINS (wavelet sparsification + randomized
+cut-off), and prints the accuracy and the bytes each node pushed on the
+network.  On this scaled-down setting JWINS reaches an accuracy close to full
+sharing while sending roughly a third of the bytes — the paper's headline
+result in miniature.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import full_sharing_factory
+from repro.core import JwinsConfig, jwins_factory
+from repro.datasets import make_cifar10_task
+from repro.evaluation import summarize_results
+from repro.simulation import ExperimentConfig, run_experiment
+
+
+def main() -> None:
+    task = make_cifar10_task(seed=1, train_samples=768, test_samples=192, noise=1.0)
+    config = ExperimentConfig(
+        num_nodes=8,
+        degree=4,
+        partition="shards",
+        shards_per_node=2,
+        rounds=20,
+        local_steps=2,
+        batch_size=8,
+        learning_rate=0.05,
+        eval_every=4,
+        eval_test_samples=192,
+        seed=1,
+    )
+
+    print(f"CIFAR-10-like task: {task.model_size} parameters, "
+          f"{len(task.train)} training samples over {config.num_nodes} nodes\n")
+
+    results = {}
+    for name, factory in [
+        ("full-sharing", full_sharing_factory()),
+        ("jwins", jwins_factory(JwinsConfig.paper_default())),
+    ]:
+        print(f"running {name} for {config.rounds} rounds ...")
+        results[name] = run_experiment(task, factory, config, scheme_name=name)
+
+    print()
+    print(summarize_results(results))
+    savings = 1.0 - results["jwins"].total_bytes / results["full-sharing"].total_bytes
+    print(f"\nJWINS network savings vs full sharing: {100 * savings:.1f}% "
+          f"(paper reports ~62% on the real CIFAR-10 testbed)")
+
+
+if __name__ == "__main__":
+    main()

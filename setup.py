@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that the
+package can be installed in environments without the ``wheel`` package (legacy
+``pip install -e .``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""JWINS reproduction: communication-efficient decentralized learning.
+
+This library reproduces "Get More for Less in Decentralized Learning Systems"
+(ICDCS 2023).  The public API is organized in subpackages:
+
+* :mod:`repro.core` — the JWINS sharing scheme and the sharing-scheme interface;
+* :mod:`repro.baselines` — full sharing, random sampling, TopK and CHOCO-SGD;
+* :mod:`repro.simulation` — the decentralized-learning round simulator;
+* :mod:`repro.datasets` — the five synthetic workloads and non-IID partitioners;
+* :mod:`repro.nn` — the numpy neural-network substrate;
+* :mod:`repro.wavelets`, :mod:`repro.compression`, :mod:`repro.topology`,
+  :mod:`repro.sparsification` — the remaining substrates;
+* :mod:`repro.evaluation` — the harness regenerating the paper's tables/figures.
+
+Quickstart::
+
+    from repro.core import JwinsConfig, jwins_factory
+    from repro.datasets import make_cifar10_task
+    from repro.simulation import ExperimentConfig, run_experiment
+
+    task = make_cifar10_task(seed=1, train_samples=512, test_samples=128)
+    result = run_experiment(task, jwins_factory(JwinsConfig.paper_default()),
+                            ExperimentConfig(num_nodes=8, rounds=20, seed=1))
+    print(result.final_accuracy, result.total_gib)
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

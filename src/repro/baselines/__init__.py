@@ -1,0 +1,20 @@
+"""Baseline sharing schemes: full sharing, random sampling, TopK and CHOCO-SGD."""
+
+from repro.baselines.choco import ChocoScheme, choco_factory
+from repro.baselines.full_sharing import FullSharingScheme, full_sharing_factory
+from repro.baselines.quantized import QuantizedSharingScheme, quantized_sharing_factory
+from repro.baselines.random_sampling import RandomSamplingScheme, random_sampling_factory
+from repro.baselines.topk_sharing import TopKSharingScheme, topk_sharing_factory
+
+__all__ = [
+    "ChocoScheme",
+    "choco_factory",
+    "FullSharingScheme",
+    "full_sharing_factory",
+    "QuantizedSharingScheme",
+    "quantized_sharing_factory",
+    "RandomSamplingScheme",
+    "random_sampling_factory",
+    "TopKSharingScheme",
+    "topk_sharing_factory",
+]

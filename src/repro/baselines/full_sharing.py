@@ -1,0 +1,76 @@
+"""Full-sharing baseline (plain D-PSGD communication).
+
+Every round the node sends its entire trained parameter vector to every
+neighbor and computes the Metropolis–Hastings weighted average of its own and
+all received models.  This is the accuracy reference of the paper — the best
+models, at the highest communication cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.float_codec import FloatCodec, RawFloatCodec
+from repro.compression.sizing import PayloadSize
+from repro.core.interface import Message, RoundContext, SharingScheme
+from repro.exceptions import SimulationError
+
+__all__ = ["FullSharingScheme", "full_sharing_factory"]
+
+MESSAGE_KIND = "full-model"
+
+
+class FullSharingScheme(SharingScheme):
+    """Share the complete model with all neighbors each round."""
+
+    name = "full-sharing"
+
+    def __init__(self, node_id: int, model_size: int, seed: int, compress: bool = True) -> None:
+        self.node_id = int(node_id)
+        self.model_size = int(model_size)
+        self._codec = FloatCodec() if compress else RawFloatCodec()
+
+    def prepare(self, context: RoundContext) -> Message:
+        values = np.asarray(context.params_trained, dtype=np.float64)
+        compressed = self._codec.compress(values)
+        size = PayloadSize(values_bytes=compressed.size_bytes, metadata_bytes=0)
+        return Message(
+            sender=self.node_id,
+            kind=MESSAGE_KIND,
+            payload={"values": values.copy()},
+            size=size,
+        )
+
+    def aggregate(self, context: RoundContext, messages: list[Message]) -> np.ndarray:
+        # Own-centered form of the weighted average: a neighbor whose message
+        # never arrived implicitly contributes the node's own model, so the
+        # scheme degrades gracefully under message loss or churn.
+        own = np.asarray(context.params_trained, dtype=np.float64)
+        result = own.copy()
+        total_weight = context.self_weight
+        for message in messages:
+            if message.kind != MESSAGE_KIND:
+                raise SimulationError(
+                    f"full sharing received an incompatible message of kind {message.kind!r}"
+                )
+            weight = context.neighbor_weights.get(message.sender)
+            if weight is None:
+                raise SimulationError(
+                    f"received a message from non-neighbor node {message.sender}"
+                )
+            result += weight * (np.asarray(message.payload["values"], dtype=np.float64) - own)
+            total_weight += weight
+        if total_weight > 1.0 + 1e-6:
+            raise SimulationError(
+                f"mixing weights must not exceed 1 for a stable average, got {total_weight}"
+            )
+        return result
+
+
+def full_sharing_factory(compress: bool = True):
+    """Factory for :class:`FullSharingScheme` nodes."""
+
+    def factory(node_id: int, model_size: int, seed: int) -> FullSharingScheme:
+        return FullSharingScheme(node_id, model_size, seed, compress=compress)
+
+    return factory

@@ -1,0 +1,104 @@
+"""Quantized full sharing: the quantization branch of ML compression.
+
+The paper's background section (II-B) splits communication compression into
+sparsification (JWINS, random sampling, TopK, CHOCO's operator) and
+quantization (QSGD and friends).  This baseline covers the latter family: each
+node shares its *entire* model every round, but quantized with the QSGD
+stochastic quantizer to a few bits per parameter.  Aggregation is plain
+D-PSGD weighted averaging over the dequantized models, so accuracy degrades
+gracefully with the bit width while bytes shrink roughly by ``32 / (bits+1)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.quantization import QsgdQuantizer
+from repro.compression.sizing import PayloadSize
+from repro.core.interface import Message, RoundContext, SharingScheme
+from repro.exceptions import SimulationError
+
+__all__ = ["QuantizedSharingScheme", "quantized_sharing_factory"]
+
+MESSAGE_KIND = "quantized-full-model"
+
+
+class QuantizedSharingScheme(SharingScheme):
+    """Share the full model quantized to ``bits`` bits per parameter.
+
+    As in practical QSGD deployments, the parameter vector is quantized in
+    buckets (one scaling norm per ``bucket_size`` consecutive parameters)
+    rather than with a single global norm — a single norm over tens of
+    thousands of parameters would make the per-coordinate quantization noise
+    overwhelm the signal.
+    """
+
+    name = "quantized-sharing"
+
+    def __init__(
+        self,
+        node_id: int,
+        model_size: int,
+        seed: int,
+        bits: int = 4,
+        bucket_size: int = 256,
+    ) -> None:
+        if bucket_size <= 0:
+            raise SimulationError("bucket_size must be positive")
+        self.node_id = int(node_id)
+        self.model_size = int(model_size)
+        self.bits = int(bits)
+        self.bucket_size = int(bucket_size)
+        self._quantizer = QsgdQuantizer(bits=bits, rng=np.random.default_rng(seed))
+
+    def prepare(self, context: RoundContext) -> Message:
+        trained = np.asarray(context.params_trained, dtype=np.float64)
+        dequantized = np.empty_like(trained)
+        values_bytes = 0
+        for start in range(0, trained.size, self.bucket_size):
+            bucket = trained[start : start + self.bucket_size]
+            quantized = self._quantizer.quantize(bucket)
+            dequantized[start : start + self.bucket_size] = self._quantizer.dequantize(quantized)
+            values_bytes += quantized.size_bytes
+        size = PayloadSize(values_bytes=values_bytes, metadata_bytes=0)
+        return Message(
+            sender=self.node_id,
+            kind=MESSAGE_KIND,
+            payload={"values": dequantized, "bits": self.bits},
+            size=size,
+        )
+
+    def aggregate(self, context: RoundContext, messages: list[Message]) -> np.ndarray:
+        # Own-centered weighted average (see FullSharingScheme.aggregate): a
+        # missing neighbor message implicitly contributes the own model.
+        own = np.asarray(context.params_trained, dtype=np.float64)
+        result = own.copy()
+        total_weight = context.self_weight
+        for message in messages:
+            if message.kind != MESSAGE_KIND:
+                raise SimulationError(
+                    f"quantized sharing received an incompatible message of kind {message.kind!r}"
+                )
+            weight = context.neighbor_weights.get(message.sender)
+            if weight is None:
+                raise SimulationError(
+                    f"received a message from non-neighbor node {message.sender}"
+                )
+            result += weight * (np.asarray(message.payload["values"], dtype=np.float64) - own)
+            total_weight += weight
+        if total_weight > 1.0 + 1e-6:
+            raise SimulationError(
+                f"mixing weights must not exceed 1 for a stable average, got {total_weight}"
+            )
+        return result
+
+
+def quantized_sharing_factory(bits: int = 4, bucket_size: int = 256):
+    """Factory for :class:`QuantizedSharingScheme` nodes."""
+
+    def factory(node_id: int, model_size: int, seed: int) -> QuantizedSharingScheme:
+        return QuantizedSharingScheme(
+            node_id, model_size, seed, bits=bits, bucket_size=bucket_size
+        )
+
+    return factory

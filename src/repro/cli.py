@@ -1,0 +1,146 @@
+"""Command-line interface for running decentralized-learning experiments.
+
+Installed as the ``jwins-repro`` console script (see ``pyproject.toml``); also
+runnable as ``python -m repro.cli``.  Example::
+
+    jwins-repro --workload cifar10 --scheme jwins full-sharing --nodes 8 --rounds 16
+
+The CLI wires together the workload registry, the scheme factories and the
+simulator, then prints a comparison table — a command-line version of what
+``examples/cifar_noniid_comparison.py`` does in code.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+from typing import Callable, Sequence
+
+from repro.baselines import (
+    choco_factory,
+    full_sharing_factory,
+    quantized_sharing_factory,
+    random_sampling_factory,
+    topk_sharing_factory,
+)
+from repro.core import JwinsConfig, adaptive_jwins_factory, jwins_factory
+from repro.core.interface import SchemeFactory
+from repro.evaluation import get_workload, summarize_results
+from repro.simulation import run_experiment
+from repro.version import __version__
+
+__all__ = ["build_parser", "main", "scheme_factory_from_name"]
+
+SCHEME_CHOICES = (
+    "jwins",
+    "jwins-adaptive",
+    "full-sharing",
+    "random-sampling",
+    "topk",
+    "choco",
+    "quantized",
+)
+
+
+def scheme_factory_from_name(name: str, args: argparse.Namespace) -> SchemeFactory:
+    """Translate a CLI scheme name into a configured scheme factory."""
+
+    jwins_config = (
+        JwinsConfig.low_budget(args.budget) if args.budget else JwinsConfig.paper_default()
+    )
+    builders: dict[str, Callable[[], SchemeFactory]] = {
+        "jwins": lambda: jwins_factory(jwins_config),
+        "jwins-adaptive": lambda: adaptive_jwins_factory(jwins_config),
+        "full-sharing": lambda: full_sharing_factory(),
+        "random-sampling": lambda: random_sampling_factory(args.fraction),
+        "topk": lambda: topk_sharing_factory(args.fraction),
+        "choco": lambda: choco_factory(
+            fraction=args.budget or args.fraction, gamma=args.gamma
+        ),
+        "quantized": lambda: quantized_sharing_factory(bits=args.bits),
+    }
+    if name not in builders:
+        raise SystemExit(f"unknown scheme {name!r}; choose from {', '.join(SCHEME_CHOICES)}")
+    return builders[name]()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="jwins-repro",
+        description="Run decentralized-learning experiments from the JWINS reproduction.",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    parser.add_argument(
+        "--workload",
+        default="cifar10",
+        help="one of the five paper workloads (cifar10, femnist, celeba, shakespeare, movielens)",
+    )
+    parser.add_argument(
+        "--scheme",
+        nargs="+",
+        default=["jwins", "full-sharing"],
+        choices=SCHEME_CHOICES,
+        help="one or more sharing schemes to compare",
+    )
+    parser.add_argument("--nodes", type=int, default=None, help="number of DL nodes")
+    parser.add_argument("--degree", type=int, default=None, help="topology degree")
+    parser.add_argument("--rounds", type=int, default=None, help="communication rounds")
+    parser.add_argument("--seed", type=int, default=1, help="experiment seed")
+    parser.add_argument(
+        "--dynamic-topology",
+        action="store_true",
+        help="re-sample the topology every round (Figure 7 setting)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="communication budget in (0, 1]; configures JWINS' alpha distribution and CHOCO's fraction",
+    )
+    parser.add_argument(
+        "--fraction",
+        type=float,
+        default=0.37,
+        help="sharing fraction for random-sampling / topk (default 0.37 as in Table I)",
+    )
+    parser.add_argument("--gamma", type=float, default=0.6, help="CHOCO consensus step size")
+    parser.add_argument("--bits", type=int, default=4, help="bits for the quantized baseline")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+
+    args = build_parser().parse_args(argv)
+    if args.budget is not None and not 0.0 < args.budget <= 1.0:
+        raise SystemExit("--budget must be in (0, 1]")
+
+    workload = get_workload(args.workload)
+    task = workload.make_task(seed=args.seed)
+    config = workload.config
+    overrides = {"seed": args.seed, "dynamic_topology": args.dynamic_topology}
+    if args.nodes is not None:
+        overrides["num_nodes"] = args.nodes
+    if args.degree is not None:
+        overrides["degree"] = args.degree
+    if args.rounds is not None:
+        overrides["rounds"] = args.rounds
+    config = replace(config, **overrides)
+
+    print(
+        f"workload={workload.name} nodes={config.num_nodes} rounds={config.rounds} "
+        f"partition={config.partition} seed={config.seed}"
+    )
+    results = {}
+    for scheme_name in args.scheme:
+        factory = scheme_factory_from_name(scheme_name, args)
+        print(f"running {scheme_name} ...")
+        results[scheme_name] = run_experiment(task, factory, config, scheme_name=scheme_name)
+
+    print()
+    print(summarize_results(results))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    raise SystemExit(main())

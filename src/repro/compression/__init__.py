@@ -1,0 +1,61 @@
+"""Compression substrate: bit streams, Elias gamma, index codecs and float codecs."""
+
+from repro.compression.bitstream import BitReader, BitWriter
+from repro.compression.elias import elias_gamma_decode, elias_gamma_encode, gamma_code_length
+from repro.compression.float_codec import (
+    CompressedFloats,
+    DeflateFloatCodec,
+    Float16Codec,
+    FloatCodec,
+    LzmaFloatCodec,
+    RawFloatCodec,
+)
+from repro.compression.quantization import QsgdQuantizer, QuantizedVector
+from repro.compression.indices import (
+    EliasGammaIndexCodec,
+    EncodedIndices,
+    IndexCodec,
+    RawIndexCodec,
+    SeedIndexCodec,
+    random_indices_from_seed,
+)
+from repro.compression.sizing import (
+    BYTES_PER_FLOAT32,
+    BYTES_PER_INT32,
+    GIB,
+    KIB,
+    MESSAGE_HEADER_BYTES,
+    MIB,
+    PayloadSize,
+    format_bytes,
+)
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "elias_gamma_decode",
+    "elias_gamma_encode",
+    "gamma_code_length",
+    "CompressedFloats",
+    "DeflateFloatCodec",
+    "Float16Codec",
+    "FloatCodec",
+    "LzmaFloatCodec",
+    "RawFloatCodec",
+    "QsgdQuantizer",
+    "QuantizedVector",
+    "EliasGammaIndexCodec",
+    "EncodedIndices",
+    "IndexCodec",
+    "RawIndexCodec",
+    "SeedIndexCodec",
+    "random_indices_from_seed",
+    "BYTES_PER_FLOAT32",
+    "BYTES_PER_INT32",
+    "GIB",
+    "KIB",
+    "MESSAGE_HEADER_BYTES",
+    "MIB",
+    "PayloadSize",
+    "format_bytes",
+]

@@ -1,0 +1,69 @@
+"""Elias gamma coding of positive integers.
+
+The paper compresses the sparsification metadata (the list of selected
+coefficient indices) by Elias-gamma coding the difference array of sorted
+indices, the same trick used by QSGD.  Elias gamma represents a positive
+integer ``n`` as ``floor(log2 n)`` zero bits followed by the binary expansion
+of ``n``; small gaps therefore cost very few bits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.compression.bitstream import BitReader, BitWriter
+from repro.exceptions import CodecError
+
+__all__ = [
+    "elias_gamma_decode",
+    "elias_gamma_encode",
+    "gamma_code_length",
+]
+
+
+def gamma_code_length(value: int) -> int:
+    """Number of bits Elias gamma uses for ``value`` (must be >= 1)."""
+
+    if value < 1:
+        raise CodecError(f"Elias gamma requires positive integers, got {value}")
+    return 2 * int(value).bit_length() - 1
+
+
+def _encode_single(writer: BitWriter, value: int) -> None:
+    if value < 1:
+        raise CodecError(f"Elias gamma requires positive integers, got {value}")
+    bits = int(value).bit_length()
+    writer.write_unary(bits - 1)
+    # The leading one bit acted as the unary terminator; emit the remainder.
+    writer.write_bits(value - (1 << (bits - 1)), bits - 1)
+
+
+def elias_gamma_encode(values: Iterable[int] | Sequence[int] | np.ndarray) -> tuple[bytes, int, int]:
+    """Encode a sequence of positive integers.
+
+    Returns ``(payload, bit_length, count)``; ``bit_length`` is required for an
+    exact decode and ``count`` is the number of encoded integers.
+    """
+
+    writer = BitWriter()
+    count = 0
+    for value in np.asarray(list(values), dtype=np.int64):
+        _encode_single(writer, int(value))
+        count += 1
+    return writer.getvalue(), writer.bit_length, count
+
+
+def elias_gamma_decode(payload: bytes, bit_length: int, count: int) -> list[int]:
+    """Decode ``count`` integers from an Elias-gamma ``payload``."""
+
+    reader = BitReader(payload, bit_length)
+    values: list[int] = []
+    for _ in range(count):
+        zeros = reader.read_unary()
+        remainder = reader.read_bits(zeros)
+        values.append((1 << zeros) | remainder)
+    if reader.remaining:
+        raise CodecError(f"{reader.remaining} unread bits left after decoding {count} values")
+    return values

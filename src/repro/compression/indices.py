@@ -1,0 +1,173 @@
+"""Codecs for the sparsification metadata (selected coefficient indices).
+
+Three codecs are provided, matching the alternatives discussed in the paper:
+
+* :class:`RawIndexCodec` — ships every index as a 32-bit integer.  Without any
+  compression the metadata is as large as the parameter payload itself
+  (Figure 9, first bar).
+* :class:`EliasGammaIndexCodec` — sorts the indices, delta-encodes them and
+  Elias-gamma codes the gaps (Section III-C, Figure 9 second bar).  This is
+  the codec JWINS uses.
+* :class:`SeedIndexCodec` — for random-sampling sparsification the indices are
+  a deterministic function of a shared pseudo-random seed, so transmitting the
+  seed and the count suffices (Section II-B2a).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.elias import elias_gamma_decode, elias_gamma_encode
+from repro.exceptions import CodecError
+
+__all__ = [
+    "EliasGammaIndexCodec",
+    "EncodedIndices",
+    "IndexCodec",
+    "RawIndexCodec",
+    "SeedIndexCodec",
+    "random_indices_from_seed",
+]
+
+
+@dataclass(frozen=True)
+class EncodedIndices:
+    """An encoded index list together with everything needed to decode it."""
+
+    codec: str
+    payload: bytes
+    bit_length: int
+    count: int
+    universe: int
+    extra: tuple[int, ...] = ()
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of the metadata on the wire (payload plus a small fixed header)."""
+
+        # Header: count (4 bytes) + universe (4 bytes) + bit length (4 bytes)
+        # + any extra integers (4 bytes each).
+        return len(self.payload) + 12 + 4 * len(self.extra)
+
+
+class IndexCodec(ABC):
+    """Interface of an index codec."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def encode(self, indices: np.ndarray, universe: int) -> EncodedIndices:
+        """Encode ``indices`` drawn from ``range(universe)``."""
+
+    @abstractmethod
+    def decode(self, encoded: EncodedIndices) -> np.ndarray:
+        """Recover the (sorted) indices from ``encoded``."""
+
+
+class RawIndexCodec(IndexCodec):
+    """Uncompressed 32-bit indices (the Figure 9 'no compression' baseline)."""
+
+    name = "raw"
+
+    def encode(self, indices: np.ndarray, universe: int) -> EncodedIndices:
+        values = _validate_indices(indices, universe)
+        payload = values.astype("<u4").tobytes()
+        return EncodedIndices(
+            codec=self.name,
+            payload=payload,
+            bit_length=len(payload) * 8,
+            count=values.size,
+            universe=int(universe),
+        )
+
+    def decode(self, encoded: EncodedIndices) -> np.ndarray:
+        if encoded.codec != self.name:
+            raise CodecError(f"payload was encoded with {encoded.codec!r}, not {self.name!r}")
+        return np.frombuffer(encoded.payload, dtype="<u4").astype(np.int64)
+
+
+class EliasGammaIndexCodec(IndexCodec):
+    """Delta + Elias gamma coding of sorted indices (the JWINS metadata codec)."""
+
+    name = "elias-gamma"
+
+    def encode(self, indices: np.ndarray, universe: int) -> EncodedIndices:
+        values = _validate_indices(indices, universe)
+        values = np.sort(values)
+        if values.size and np.any(np.diff(values) == 0):
+            raise CodecError("duplicate indices cannot be delta-encoded")
+        # Gaps are >= 1 after sorting unique indices; shift the first index by
+        # one so that every encoded integer is positive as gamma requires.
+        gaps = np.diff(values, prepend=-1)
+        payload, bit_length, count = elias_gamma_encode(gaps)
+        return EncodedIndices(
+            codec=self.name,
+            payload=payload,
+            bit_length=bit_length,
+            count=count,
+            universe=int(universe),
+        )
+
+    def decode(self, encoded: EncodedIndices) -> np.ndarray:
+        if encoded.codec != self.name:
+            raise CodecError(f"payload was encoded with {encoded.codec!r}, not {self.name!r}")
+        gaps = elias_gamma_decode(encoded.payload, encoded.bit_length, encoded.count)
+        values = np.cumsum(np.asarray(gaps, dtype=np.int64)) - 1
+        if values.size and (values[0] < 0 or values[-1] >= encoded.universe):
+            raise CodecError("decoded indices fall outside the declared universe")
+        return values
+
+
+def random_indices_from_seed(seed: int, count: int, universe: int) -> np.ndarray:
+    """The shared-seed index set used by random-sampling sparsification."""
+
+    if count > universe:
+        raise CodecError(f"cannot draw {count} distinct indices from a universe of {universe}")
+    rng = np.random.default_rng(int(seed) & 0xFFFFFFFF)
+    return np.sort(rng.choice(universe, size=count, replace=False)).astype(np.int64)
+
+
+class SeedIndexCodec(IndexCodec):
+    """Transmit only the pseudo-random seed instead of the index list."""
+
+    name = "seed"
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+
+    def encode(self, indices: np.ndarray, universe: int) -> EncodedIndices:
+        values = _validate_indices(indices, universe)
+        expected = random_indices_from_seed(self.seed, values.size, universe)
+        if not np.array_equal(np.sort(values), expected):
+            raise CodecError(
+                "SeedIndexCodec can only encode the exact index set generated from its seed"
+            )
+        return EncodedIndices(
+            codec=self.name,
+            payload=b"",
+            bit_length=0,
+            count=values.size,
+            universe=int(universe),
+            extra=(self.seed & 0xFFFFFFFF,),
+        )
+
+    def decode(self, encoded: EncodedIndices) -> np.ndarray:
+        if encoded.codec != self.name:
+            raise CodecError(f"payload was encoded with {encoded.codec!r}, not {self.name!r}")
+        if not encoded.extra:
+            raise CodecError("seed-coded indices are missing the seed")
+        return random_indices_from_seed(encoded.extra[0], encoded.count, encoded.universe)
+
+
+def _validate_indices(indices: np.ndarray, universe: int) -> np.ndarray:
+    values = np.asarray(indices, dtype=np.int64).ravel()
+    if universe <= 0:
+        raise CodecError("universe must be positive")
+    if values.size and (values.min() < 0 or values.max() >= universe):
+        raise CodecError("indices must lie in [0, universe)")
+    if np.unique(values).size != values.size:
+        raise CodecError("indices must be distinct")
+    return values

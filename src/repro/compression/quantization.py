@@ -1,0 +1,86 @@
+"""Stochastic quantization (QSGD-style).
+
+The paper's background section distinguishes two families of ML compression:
+sparsification (what JWINS does) and quantization, which represents each float
+with a small number of bits.  This module implements the QSGD quantizer
+(Alistarh et al., NeurIPS 2017): values are normalized by the vector's L2 norm
+and rounded stochastically to one of ``2^bits - 1`` levels, which keeps the
+quantizer unbiased.  It backs the :class:`~repro.baselines.quantized.QuantizedSharingScheme`
+baseline and the codec-comparison benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import CodecError
+
+__all__ = ["QuantizedVector", "QsgdQuantizer"]
+
+
+@dataclass(frozen=True)
+class QuantizedVector:
+    """A QSGD-quantized vector: norm, signs and integer levels."""
+
+    norm: float
+    signs: np.ndarray
+    levels: np.ndarray
+    bits: int
+    size: int
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size: norm (4 bytes) + one sign bit and ``bits`` level bits per value."""
+
+        payload_bits = self.size * (1 + self.bits)
+        return 4 + (payload_bits + 7) // 8
+
+
+class QsgdQuantizer:
+    """Unbiased stochastic quantizer with ``2^bits - 1`` positive levels."""
+
+    def __init__(self, bits: int = 4, rng: np.random.Generator | None = None) -> None:
+        if not 1 <= bits <= 16:
+            raise CodecError("bits must be between 1 and 16")
+        self.bits = int(bits)
+        self.levels = (1 << self.bits) - 1
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def quantize(self, values: np.ndarray) -> QuantizedVector:
+        """Quantize ``values``; the expectation of dequantize(quantize(x)) is x."""
+
+        data = np.asarray(values, dtype=np.float64).ravel()
+        norm = float(np.linalg.norm(data))
+        if norm == 0.0:
+            return QuantizedVector(
+                norm=0.0,
+                signs=np.zeros(data.size, dtype=np.int8),
+                levels=np.zeros(data.size, dtype=np.int32),
+                bits=self.bits,
+                size=data.size,
+            )
+        scaled = np.abs(data) / norm * self.levels
+        floor = np.floor(scaled)
+        probability_up = scaled - floor
+        rounded = floor + (self._rng.random(data.size) < probability_up)
+        return QuantizedVector(
+            norm=norm,
+            signs=np.sign(data).astype(np.int8),
+            levels=rounded.astype(np.int32),
+            bits=self.bits,
+            size=data.size,
+        )
+
+    def dequantize(self, quantized: QuantizedVector) -> np.ndarray:
+        """Reconstruct the (lossy) float vector from its quantized form."""
+
+        if quantized.bits != self.bits:
+            raise CodecError(
+                f"vector was quantized with {quantized.bits} bits, quantizer uses {self.bits}"
+            )
+        if quantized.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        levels = (1 << quantized.bits) - 1
+        return quantized.norm * quantized.signs * quantized.levels / levels

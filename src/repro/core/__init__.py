@@ -1,0 +1,33 @@
+"""JWINS core: the paper's primary contribution plus the sharing-scheme interface."""
+
+from repro.core.adaptive import (
+    AdaptiveJwinsScheme,
+    adaptive_jwins_factory,
+    apply_band_weights,
+    band_weights_for,
+)
+from repro.core.aggregation import SparseContribution, partial_weighted_average
+from repro.core.config import JwinsConfig
+from repro.core.cutoff import DEFAULT_ALPHAS, CutoffDistribution
+from repro.core.interface import Message, RoundContext, SchemeFactory, SharingScheme
+from repro.core.jwins import JwinsScheme, jwins_factory
+from repro.core.ranking import WaveletRanker
+
+__all__ = [
+    "AdaptiveJwinsScheme",
+    "adaptive_jwins_factory",
+    "apply_band_weights",
+    "band_weights_for",
+    "SparseContribution",
+    "partial_weighted_average",
+    "JwinsConfig",
+    "DEFAULT_ALPHAS",
+    "CutoffDistribution",
+    "Message",
+    "RoundContext",
+    "SchemeFactory",
+    "SharingScheme",
+    "JwinsScheme",
+    "jwins_factory",
+    "WaveletRanker",
+]

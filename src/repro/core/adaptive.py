@@ -1,0 +1,99 @@
+"""Adaptive, band-aware parameter ranking (the paper's future-work direction).
+
+The conclusion of the paper suggests "an adaptive version of the importance
+score based on the parameter type" as future research.  This module provides a
+first concrete version of that idea at the wavelet level: the accumulated
+importance scores are reweighted per decomposition band before TopK selection,
+so the approximation band (which summarizes whole neighbourhoods of
+parameters) can be prioritized over the finest detail bands, or vice versa.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import JwinsConfig
+from repro.core.jwins import JwinsScheme
+from repro.exceptions import ConfigurationError
+from repro.wavelets.packing import CoefficientLayout
+from repro.wavelets.transform import WaveletTransform
+
+__all__ = ["AdaptiveJwinsScheme", "adaptive_jwins_factory", "apply_band_weights", "band_weights_for"]
+
+
+def band_weights_for(layout: CoefficientLayout, approximation_boost: float = 2.0) -> np.ndarray:
+    """Per-band weights that emphasize coarser (lower-frequency) bands.
+
+    Band 0 is the deepest approximation band; detail bands follow from deepest
+    to shallowest.  The weight decays geometrically from ``approximation_boost``
+    down to 1.0 for the finest detail band.
+    """
+
+    if approximation_boost <= 0:
+        raise ConfigurationError("approximation_boost must be positive")
+    bands = len(layout.band_sizes)
+    if bands == 1:
+        return np.array([1.0])
+    exponents = np.linspace(1.0, 0.0, bands)
+    return approximation_boost**exponents
+
+
+def apply_band_weights(
+    scores: np.ndarray, layout: CoefficientLayout, weights: np.ndarray
+) -> np.ndarray:
+    """Scale ``scores`` band by band according to ``weights``."""
+
+    scores = np.asarray(scores, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if scores.size != layout.total_size:
+        raise ConfigurationError(
+            f"scores have {scores.size} entries, layout expects {layout.total_size}"
+        )
+    if weights.size != len(layout.band_sizes):
+        raise ConfigurationError(
+            f"expected {len(layout.band_sizes)} band weights, got {weights.size}"
+        )
+    adjusted = scores.copy()
+    for band, weight in zip(layout.band_slices(), weights):
+        adjusted[band] *= weight
+    return adjusted
+
+
+class AdaptiveJwinsScheme(JwinsScheme):
+    """JWINS with band-weighted ranking scores.
+
+    Requires the wavelet transform (the band structure is what the weights act
+    on); configuring it with ``use_wavelet=False`` is rejected.
+    """
+
+    name = "jwins-adaptive"
+
+    def __init__(
+        self,
+        node_id: int,
+        model_size: int,
+        seed: int,
+        config: JwinsConfig | None = None,
+        approximation_boost: float = 2.0,
+    ) -> None:
+        config = config if config is not None else JwinsConfig()
+        if not config.use_wavelet:
+            raise ConfigurationError("AdaptiveJwinsScheme requires the wavelet transform")
+        super().__init__(node_id, model_size, seed, config)
+        assert isinstance(self.transform, WaveletTransform)
+        self._band_weights = band_weights_for(self.transform.layout, approximation_boost)
+
+    def _adjust_scores(self, scores: np.ndarray) -> np.ndarray:
+        assert isinstance(self.transform, WaveletTransform)
+        return apply_band_weights(scores, self.transform.layout, self._band_weights)
+
+
+def adaptive_jwins_factory(config: JwinsConfig | None = None, approximation_boost: float = 2.0):
+    """Factory for :class:`AdaptiveJwinsScheme` nodes."""
+
+    def factory(node_id: int, model_size: int, seed: int) -> AdaptiveJwinsScheme:
+        return AdaptiveJwinsScheme(
+            node_id, model_size, seed, config, approximation_boost=approximation_boost
+        )
+
+    return factory

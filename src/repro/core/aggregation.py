@@ -1,0 +1,69 @@
+"""Weighted averaging of sparse (partial) model vectors.
+
+When a node only receives a subset of a neighbor's coefficients, the missing
+entries are substituted with the node's own values before the weighted
+(Metropolis–Hastings) averaging — this is how partial sharing is aggregated in
+DecentralizePy and what Algorithm 1 line 10 ("average all received partial
+wavelets with own coefficients") means in practice.  The same helper serves
+the parameter domain (random sampling, TopK) and the wavelet domain (JWINS).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+__all__ = ["SparseContribution", "partial_weighted_average"]
+
+
+class SparseContribution:
+    """One neighbor's sparse contribution: ``values`` at ``indices`` with ``weight``."""
+
+    __slots__ = ("weight", "indices", "values")
+
+    def __init__(self, weight: float, indices: np.ndarray, values: np.ndarray) -> None:
+        self.weight = float(weight)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.values = np.asarray(values, dtype=np.float64)
+        if self.indices.shape != self.values.shape:
+            raise SimulationError("indices and values must have the same length")
+
+
+def partial_weighted_average(
+    own: np.ndarray,
+    self_weight: float,
+    contributions: Iterable[SparseContribution],
+) -> np.ndarray:
+    """Weighted average of the own vector with sparse neighbor contributions.
+
+    Each neighbor's vector is mentally "completed" by filling its unshared
+    entries with the own values, then the usual weighted average is taken:
+
+    ``result = W_ii * own + sum_j W_ij * completed_j``
+
+    which simplifies to adding ``W_ij * (values_j - own[indices_j])`` at the
+    shared positions.  The weights of the received contributions plus the own
+    weight may sum to *less* than one: any missing mass (a neighbor whose
+    message was dropped or who left the network) implicitly keeps the node's
+    own values, which is what makes the sharing schemes robust to message loss
+    and churn.  A total above one is always an error — it would amplify the
+    model instead of averaging it.
+    """
+
+    own = np.asarray(own, dtype=np.float64)
+    result = own.copy()
+    total_weight = float(self_weight)
+    for contribution in contributions:
+        indices = contribution.indices
+        if indices.size and (indices.min() < 0 or indices.max() >= own.size):
+            raise SimulationError("contribution indices out of range")
+        result[indices] += contribution.weight * (contribution.values - own[indices])
+        total_weight += contribution.weight
+    if total_weight > 1.0 + 1e-6:
+        raise SimulationError(
+            f"mixing weights must not exceed 1 for a stable average, got {total_weight}"
+        )
+    return result

@@ -1,0 +1,99 @@
+"""The sharing-scheme interface: the "communication stage" of decentralized learning.
+
+The paper stresses that JWINS only concerns the communication stage of the
+train–communicate–aggregate round and is independent of the aggregation
+algorithm.  This module captures that boundary: a :class:`SharingScheme`
+decides *what* a node sends to its neighbors (`prepare`) and *how* received
+messages are combined with the node's own model (`aggregate`).  The simulator
+drives schemes through this interface only, so full sharing, random sampling,
+TopK, CHOCO-SGD and JWINS are interchangeable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.compression.sizing import PayloadSize
+
+__all__ = ["Message", "RoundContext", "SchemeFactory", "SharingScheme"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message sent by one node to all of its neighbors in one round.
+
+    ``payload`` is scheme-specific (dense parameters, sparse coefficients plus
+    indices, CHOCO difference updates, ...); ``size`` is the measured wire
+    size of the payload, which is what the byte-metering layer accounts.
+    """
+
+    sender: int
+    kind: str
+    payload: dict[str, Any] = field(repr=False)
+    size: PayloadSize = field(default_factory=lambda: PayloadSize(0, 0))
+
+
+@dataclass
+class RoundContext:
+    """Everything a sharing scheme may need about the current round.
+
+    Attributes
+    ----------
+    round_index:
+        Zero-based communication round number ``t``.
+    params_start:
+        Flat model parameters at the start of the round, ``x^(t,0)``.
+    params_trained:
+        Flat model parameters after the local training steps, ``x^(t,tau)``.
+    self_weight:
+        The node's own weight ``W[i][i]`` in the mixing matrix.
+    neighbor_weights:
+        Mapping from neighbor id to ``W[i][j]`` for the current topology.
+    rng:
+        Per-node, per-round generator (used e.g. by the randomized cut-off).
+    """
+
+    round_index: int
+    params_start: np.ndarray
+    params_trained: np.ndarray
+    self_weight: float
+    neighbor_weights: dict[int, float]
+    rng: np.random.Generator
+
+    @property
+    def model_size(self) -> int:
+        return int(self.params_trained.size)
+
+
+class SharingScheme(ABC):
+    """Per-node state machine implementing the communication stage."""
+
+    #: Human-readable scheme name used in reports and logs.
+    name = "abstract"
+
+    @abstractmethod
+    def prepare(self, context: RoundContext) -> Message:
+        """Build the message this node sends to every neighbor this round."""
+
+    @abstractmethod
+    def aggregate(self, context: RoundContext, messages: list[Message]) -> np.ndarray:
+        """Combine the node's own trained model with the received messages.
+
+        Returns the new flat parameter vector ``x^(t+1,0)`` that the node
+        starts the next round from.
+        """
+
+    def finalize(self, context: RoundContext, new_params: np.ndarray) -> None:
+        """Hook called after aggregation with the final round result.
+
+        JWINS uses it for the end-of-round accumulator update (Equation 4);
+        most schemes need no post-processing, hence the default no-op.
+        """
+
+
+SchemeFactory = Callable[[int, int, int], SharingScheme]
+"""Factory signature: ``factory(node_id, model_size, seed) -> SharingScheme``."""

@@ -1,0 +1,153 @@
+"""The JWINS sharing scheme (Algorithm 1 of the paper).
+
+Per round, a node running JWINS
+
+1. transforms its local model change to the wavelet domain and adds it to the
+   accumulated importance scores (Equation 3);
+2. samples a sharing fraction ``alpha`` from the randomized cut-off
+   distribution and takes the TopK coefficient indices by accumulated score;
+3. sends the *current* wavelet coefficients at those indices, plus the
+   Elias-gamma-compressed index list, to every neighbor;
+4. averages the received partial wavelet vectors with its own coefficients
+   using the Metropolis–Hastings weights, substituting its own values for the
+   coefficients a neighbor did not share;
+5. inverts the wavelet transform to obtain the next round's model and updates
+   the accumulator with the whole-round change (Equation 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.float_codec import FloatCodec, RawFloatCodec
+from repro.compression.indices import EliasGammaIndexCodec, RawIndexCodec
+from repro.compression.sizing import PayloadSize
+from repro.core.aggregation import SparseContribution, partial_weighted_average
+from repro.core.config import JwinsConfig
+from repro.core.interface import Message, RoundContext, SharingScheme
+from repro.core.ranking import WaveletRanker
+from repro.exceptions import SimulationError
+from repro.sparsification.base import fraction_to_count
+from repro.sparsification.topk import topk_indices
+from repro.wavelets.transform import IdentityTransform, ModelTransform, WaveletTransform
+
+__all__ = ["JwinsScheme", "jwins_factory"]
+
+MESSAGE_KIND = "jwins-partial-wavelets"
+
+
+class JwinsScheme(SharingScheme):
+    """Per-node JWINS state: transform, ranker, cut-off and codecs."""
+
+    name = "jwins"
+
+    def __init__(
+        self,
+        node_id: int,
+        model_size: int,
+        seed: int,
+        config: JwinsConfig | None = None,
+    ) -> None:
+        self.node_id = int(node_id)
+        self.config = config if config is not None else JwinsConfig()
+        self.transform: ModelTransform
+        if self.config.use_wavelet:
+            self.transform = WaveletTransform(
+                model_size, wavelet=self.config.wavelet, levels=self.config.levels
+            )
+        else:
+            self.transform = IdentityTransform(model_size)
+        self.ranker = WaveletRanker(self.transform, self.config.use_accumulation)
+        self._float_codec = (
+            FloatCodec() if self.config.float_codec == "fpzip-like" else RawFloatCodec()
+        )
+        self._index_codec = (
+            EliasGammaIndexCodec() if self.config.index_codec == "elias-gamma" else RawIndexCodec()
+        )
+        self._fixed_alpha = self.config.cutoff.expected_fraction()
+        self._own_coefficients: np.ndarray | None = None
+        self.last_alpha: float | None = None
+
+    # -- extension hook ----------------------------------------------------------
+    def _adjust_scores(self, scores: np.ndarray) -> np.ndarray:
+        """Hook for subclasses to reweight the ranking scores before TopK.
+
+        The base scheme uses the accumulated scores unchanged; the adaptive
+        variant (:class:`repro.core.adaptive.AdaptiveJwinsScheme`) reweights
+        them per wavelet band, the direction the paper sketches as future work.
+        """
+
+        return scores
+
+    # -- Algorithm 1, lines 5-8 ------------------------------------------------
+    def prepare(self, context: RoundContext) -> Message:
+        scores = self._adjust_scores(
+            self.ranker.round_scores(context.params_start, context.params_trained)
+        )
+        if self.config.use_random_cutoff:
+            alpha = self.config.cutoff.sample(context.rng)
+        else:
+            alpha = self._fixed_alpha
+        self.last_alpha = alpha
+        count = fraction_to_count(alpha, self.ranker.coefficient_size)
+        indices = topk_indices(scores, count)
+        own_coefficients = self.transform.forward(context.params_trained)
+        self._own_coefficients = own_coefficients
+        values = own_coefficients[indices]
+        self.ranker.mark_shared(indices)
+
+        compressed_values = self._float_codec.compress(values)
+        encoded_indices = self._index_codec.encode(indices, self.ranker.coefficient_size)
+        size = PayloadSize(
+            values_bytes=compressed_values.size_bytes,
+            metadata_bytes=encoded_indices.size_bytes,
+        )
+        payload = {
+            "indices": indices,
+            "values": values,
+            "alpha": alpha,
+            "coefficient_size": self.ranker.coefficient_size,
+        }
+        return Message(sender=self.node_id, kind=MESSAGE_KIND, payload=payload, size=size)
+
+    # -- Algorithm 1, lines 9-11 ------------------------------------------------
+    def aggregate(self, context: RoundContext, messages: list[Message]) -> np.ndarray:
+        if self._own_coefficients is None:
+            raise SimulationError("aggregate called before prepare")
+        contributions = []
+        for message in messages:
+            if message.kind != MESSAGE_KIND:
+                raise SimulationError(
+                    f"JWINS received an incompatible message of kind {message.kind!r}"
+                )
+            weight = context.neighbor_weights.get(message.sender)
+            if weight is None:
+                raise SimulationError(
+                    f"received a message from non-neighbor node {message.sender}"
+                )
+            contributions.append(
+                SparseContribution(
+                    weight=weight,
+                    indices=message.payload["indices"],
+                    values=message.payload["values"],
+                )
+            )
+        averaged = partial_weighted_average(
+            self._own_coefficients, context.self_weight, contributions
+        )
+        new_params = self.transform.inverse(averaged)
+        self._own_coefficients = None
+        return new_params
+
+    # -- Algorithm 1, line 12 ----------------------------------------------------
+    def finalize(self, context: RoundContext, new_params: np.ndarray) -> None:
+        self.ranker.end_of_round(context.params_start, new_params)
+
+
+def jwins_factory(config: JwinsConfig | None = None):
+    """Return a :data:`~repro.core.interface.SchemeFactory` building JWINS nodes."""
+
+    def factory(node_id: int, model_size: int, seed: int) -> JwinsScheme:
+        return JwinsScheme(node_id, model_size, seed, config)
+
+    return factory

@@ -1,0 +1,74 @@
+"""JWINS parameter ranking: wavelet transform + accumulation (Section III-A).
+
+The ranker maintains the accumulated importance score ``V`` of every wavelet
+coefficient.  Each round it
+
+1. adds the wavelet transform of the local model change to a working copy of
+   ``V`` (Equation 3) — this is the score used for TopK selection;
+2. zeroes the entries of ``V`` that were selected for sharing; and
+3. after averaging, adds the wavelet transform of the *whole-round* model
+   change to ``V`` (Equation 4), so that un-shared coefficients keep growing
+   and shared ones restart from the change caused by averaging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparsification.accumulation import ResidualAccumulator
+from repro.wavelets.transform import ModelTransform
+
+__all__ = ["WaveletRanker"]
+
+
+class WaveletRanker:
+    """Maintains coefficient importance scores across rounds for one node."""
+
+    def __init__(self, transform: ModelTransform, use_accumulation: bool = True) -> None:
+        self.transform = transform
+        self.use_accumulation = use_accumulation
+        self._accumulator = ResidualAccumulator(transform.coefficient_size())
+
+    @property
+    def coefficient_size(self) -> int:
+        return self._accumulator.size
+
+    @property
+    def scores(self) -> np.ndarray:
+        """The persistent accumulated scores ``V`` (read-only view)."""
+
+        return self._accumulator.scores
+
+    def round_scores(
+        self, params_start: np.ndarray, params_trained: np.ndarray
+    ) -> np.ndarray:
+        """Equation 3: ``V' = V + DWT(x^(t,tau) - x^(t,0))``.
+
+        With accumulation disabled (the Figure 8 ablation) the score is just
+        the wavelet transform of this round's local change.
+        """
+
+        local_change = self.transform.forward(
+            np.asarray(params_trained, dtype=np.float64)
+            - np.asarray(params_start, dtype=np.float64)
+        )
+        if not self.use_accumulation:
+            return local_change
+        return self._accumulator.scores + local_change
+
+    def mark_shared(self, indices: np.ndarray) -> None:
+        """Zero the persistent scores of coefficients that were just shared."""
+
+        if self.use_accumulation:
+            self._accumulator.reset_indices(indices)
+
+    def end_of_round(self, params_start: np.ndarray, params_final: np.ndarray) -> None:
+        """Equation 4: ``V <- V + DWT(x^(t+1,0) - x^(t,0))``."""
+
+        if not self.use_accumulation:
+            return
+        round_change = self.transform.forward(
+            np.asarray(params_final, dtype=np.float64)
+            - np.asarray(params_start, dtype=np.float64)
+        )
+        self._accumulator.add(round_change)

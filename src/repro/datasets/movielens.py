@@ -1,0 +1,57 @@
+"""MovieLens-like recommendation task (matrix factorization).
+
+Ratings are generated from a ground-truth latent factor model; each user's
+ratings belong to that user, so the client-based partitioner distributes whole
+users across nodes exactly as the paper does with the real MovieLens data.
+Accuracy is reported as the fraction of predictions within half a star of the
+true rating, which plays the role of the accuracy axis in the paper's plots.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.datasets.base import Dataset, LearningTask, rating_accuracy
+from repro.datasets.synthetic import make_rating_triples
+from repro.nn.losses import MSELoss
+from repro.nn.models import MatrixFactorization
+from repro.utils.rng import derive_rng
+
+__all__ = ["make_movielens_task"]
+
+
+def make_movielens_task(
+    seed: int,
+    num_users: int = 64,
+    num_items: int = 80,
+    samples_per_user: int = 30,
+    test_fraction: float = 0.2,
+    embedding_dim: int = 8,
+) -> LearningTask:
+    """Build the MovieLens-like :class:`~repro.datasets.base.LearningTask`."""
+
+    rng = derive_rng(seed, "movielens")
+    pairs, ratings, clients = make_rating_triples(
+        rng,
+        num_users=num_users,
+        num_items=num_items,
+        samples_per_user=samples_per_user,
+    )
+    split = derive_rng(seed, "movielens", "split")
+    test_mask = split.random(pairs.shape[0]) < test_fraction
+    train = Dataset(pairs[~test_mask], ratings[~test_mask], clients[~test_mask])
+    test = Dataset(pairs[test_mask], ratings[test_mask], clients[test_mask])
+    return LearningTask(
+        name="movielens",
+        train=train,
+        test=test,
+        model_factory=partial(
+            _make_model, num_users=num_users, num_items=num_items, embedding_dim=embedding_dim
+        ),
+        loss_factory=MSELoss,
+        accuracy_fn=rating_accuracy,
+    )
+
+
+def _make_model(model_rng, num_users: int, num_items: int, embedding_dim: int):
+    return MatrixFactorization(num_users, num_items, model_rng, embedding_dim=embedding_dim)

@@ -1,0 +1,53 @@
+"""Shakespeare-like next-character prediction task (LEAF benchmark).
+
+Each client writes in one of a few "styles" (per-style Markov chains stand in
+for speakers of the play); the model is the paper's stacked LSTM.  As in the
+paper, only a subset of clients is distributed over the training nodes.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import Dataset, LearningTask, classification_accuracy
+from repro.datasets.synthetic import make_client_character_sequences
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.models import CharLSTM
+from repro.utils.rng import derive_rng
+
+__all__ = ["VOCAB_SIZE", "make_shakespeare_task"]
+
+VOCAB_SIZE = 20
+
+
+def make_shakespeare_task(
+    seed: int,
+    num_clients: int = 48,
+    samples_per_client: int = 24,
+    test_fraction: float = 0.2,
+    sequence_length: int = 10,
+    styles: int = 4,
+) -> LearningTask:
+    """Build the Shakespeare-like :class:`~repro.datasets.base.LearningTask`."""
+
+    rng = derive_rng(seed, "shakespeare")
+    sequences, targets, clients = make_client_character_sequences(
+        rng,
+        num_clients=num_clients,
+        samples_per_client=samples_per_client,
+        vocab_size=VOCAB_SIZE,
+        sequence_length=sequence_length,
+        styles=styles,
+    )
+    split = derive_rng(seed, "shakespeare", "split")
+    test_mask = split.random(sequences.shape[0]) < test_fraction
+    train = Dataset(sequences[~test_mask], targets[~test_mask], clients[~test_mask])
+    test = Dataset(sequences[test_mask], targets[test_mask], clients[test_mask])
+    return LearningTask(
+        name="shakespeare",
+        train=train,
+        test=test,
+        model_factory=lambda model_rng: CharLSTM(
+            VOCAB_SIZE, model_rng, embedding_dim=8, hidden_size=24, num_layers=2
+        ),
+        loss_factory=CrossEntropyLoss,
+        accuracy_fn=classification_accuracy,
+    )

@@ -1,0 +1,29 @@
+"""Evaluation harness: workloads, Figure 2/5/6/9 experiments and reporting."""
+
+from repro.evaluation.metadata import MetadataComparison, metadata_compression_experiment
+from repro.evaluation.reconstruction import (
+    ReconstructionCurves,
+    reconstruction_error_experiment,
+    sparsified_reconstruction,
+)
+from repro.evaluation.reporting import format_table, summarize_results, table1_rows
+from repro.evaluation.targets import TargetComparison, TargetRun, compare_to_target
+from repro.evaluation.workloads import WORKLOADS, PaperReference, Workload, get_workload
+
+__all__ = [
+    "MetadataComparison",
+    "metadata_compression_experiment",
+    "ReconstructionCurves",
+    "reconstruction_error_experiment",
+    "sparsified_reconstruction",
+    "format_table",
+    "summarize_results",
+    "table1_rows",
+    "TargetComparison",
+    "TargetRun",
+    "compare_to_target",
+    "WORKLOADS",
+    "PaperReference",
+    "Workload",
+    "get_workload",
+]

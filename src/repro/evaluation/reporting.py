@@ -1,0 +1,79 @@
+"""Textual reports matching the rows/series the paper publishes.
+
+These helpers render the measured results in the same shape as the paper's
+tables (Table I) and figure series so that benchmark output can be compared
+against the publication at a glance and copied into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.compression.sizing import format_bytes
+from repro.simulation.metrics import ExperimentResult
+
+__all__ = ["format_table", "summarize_results", "table1_rows"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a simple fixed-width text table."""
+
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def _line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = [_line(list(headers)), _line(["-" * width for width in widths])]
+    lines.extend(_line(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def table1_rows(
+    dataset: str,
+    results: Mapping[str, ExperimentResult],
+    paper_savings_percent: float | None = None,
+) -> list[object]:
+    """One Table I row: accuracies, data sent and the network savings of JWINS.
+
+    ``results`` must contain the keys ``"full-sharing"``, ``"random-sampling"``
+    and ``"jwins"``.
+    """
+
+    full = results["full-sharing"]
+    random_sampling = results["random-sampling"]
+    jwins = results["jwins"]
+    savings = 100.0 * (1.0 - jwins.total_bytes / full.total_bytes) if full.total_bytes else 0.0
+    row = [
+        dataset,
+        f"{100 * full.final_accuracy:.1f}",
+        f"{100 * random_sampling.final_accuracy:.1f}",
+        f"{100 * jwins.final_accuracy:.1f}",
+        format_bytes(full.total_bytes),
+        format_bytes(jwins.total_bytes),
+        f"{savings:.1f}%",
+    ]
+    if paper_savings_percent is not None:
+        row.append(f"{paper_savings_percent:.1f}%")
+    return row
+
+
+def summarize_results(results: Mapping[str, ExperimentResult]) -> str:
+    """A compact multi-algorithm summary used by the examples."""
+
+    headers = ["scheme", "final acc", "best acc", "test loss", "data sent/node", "sim. time"]
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            [
+                name,
+                f"{100 * result.final_accuracy:.1f}%",
+                f"{100 * result.best_accuracy:.1f}%",
+                f"{result.final_loss:.3f}",
+                format_bytes(result.average_bytes_per_node),
+                f"{result.simulated_time_seconds:.1f} s",
+            ]
+        )
+    return format_table(headers, rows)

@@ -1,0 +1,180 @@
+"""Workload registry: the five paper datasets at simulator scale.
+
+Each :class:`Workload` bundles a task factory (with scaled-down sizes), the
+experiment configuration used by the benchmark harness and the paper's
+reference numbers from Table I, so that every benchmark can print a
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.datasets import (
+    LearningTask,
+    make_celeba_task,
+    make_cifar10_task,
+    make_femnist_task,
+    make_movielens_task,
+    make_shakespeare_task,
+)
+from repro.exceptions import ConfigurationError
+from repro.simulation.experiment import ExperimentConfig
+
+__all__ = ["PaperReference", "Workload", "WORKLOADS", "get_workload"]
+
+
+@dataclass(frozen=True)
+class PaperReference:
+    """Table I numbers reported by the paper for one dataset (96 nodes)."""
+
+    full_sharing_accuracy: float
+    random_sampling_accuracy: float
+    jwins_accuracy: float
+    full_sharing_gib: float
+    jwins_gib: float
+    network_savings_percent: float
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A runnable, scaled-down version of one of the paper's workloads."""
+
+    name: str
+    task_factory: Callable[[int], LearningTask]
+    config: ExperimentConfig
+    paper: PaperReference
+    description: str = ""
+
+    def make_task(self, seed: int) -> LearningTask:
+        return self.task_factory(seed)
+
+
+def _cifar_task(seed: int) -> LearningTask:
+    # The noise level is chosen so that, at simulator scale, the task is hard
+    # enough for the paper's orderings (full ~ JWINS >> random sampling, and
+    # JWINS > CHOCO at low budgets) to be clearly visible within ~20 rounds.
+    return make_cifar10_task(seed, train_samples=768, test_samples=192, noise=1.8)
+
+
+def _movielens_task(seed: int) -> LearningTask:
+    return make_movielens_task(seed, num_users=48, num_items=64, samples_per_user=24)
+
+
+def _shakespeare_task(seed: int) -> LearningTask:
+    return make_shakespeare_task(seed, num_clients=32, samples_per_client=20)
+
+
+def _celeba_task(seed: int) -> LearningTask:
+    return make_celeba_task(seed, num_clients=48, samples_per_client=18)
+
+
+def _femnist_task(seed: int) -> LearningTask:
+    return make_femnist_task(seed, num_clients=48, samples_per_client=22)
+
+
+WORKLOADS: dict[str, Workload] = {
+    "cifar10": Workload(
+        name="cifar10",
+        task_factory=_cifar_task,
+        config=ExperimentConfig(
+            num_nodes=16,
+            degree=4,
+            partition="shards",
+            shards_per_node=2,
+            rounds=40,
+            local_steps=2,
+            batch_size=8,
+            learning_rate=0.05,
+            eval_every=5,
+            eval_test_samples=192,
+            seed=1,
+        ),
+        paper=PaperReference(58.3, 40.1, 55.3, 628.2, 231.2, 62.2),
+        description="Image classification, label-shard non-IID (hardest workload).",
+    ),
+    "movielens": Workload(
+        name="movielens",
+        task_factory=_movielens_task,
+        config=ExperimentConfig(
+            num_nodes=16,
+            degree=4,
+            partition="clients",
+            rounds=40,
+            local_steps=2,
+            batch_size=16,
+            learning_rate=0.05,
+            eval_every=5,
+            eval_test_samples=192,
+            seed=1,
+        ),
+        paper=PaperReference(91.7, 89.1, 92.6, 1103.5, 394.6, 64.2),
+        description="Matrix-factorization recommendation, per-user non-IID.",
+    ),
+    "shakespeare": Workload(
+        name="shakespeare",
+        task_factory=_shakespeare_task,
+        config=ExperimentConfig(
+            num_nodes=16,
+            degree=4,
+            partition="clients",
+            rounds=30,
+            local_steps=2,
+            batch_size=8,
+            learning_rate=0.5,
+            eval_every=5,
+            eval_test_samples=128,
+            seed=1,
+        ),
+        paper=PaperReference(35.0, 30.5, 34.5, 2127.2, 753.7, 64.6),
+        description="Next-character prediction with a stacked LSTM, per-client styles.",
+    ),
+    "celeba": Workload(
+        name="celeba",
+        task_factory=_celeba_task,
+        config=ExperimentConfig(
+            num_nodes=16,
+            degree=4,
+            partition="clients",
+            rounds=30,
+            local_steps=2,
+            batch_size=8,
+            learning_rate=0.05,
+            eval_every=5,
+            eval_test_samples=160,
+            seed=1,
+        ),
+        paper=PaperReference(89.7, 89.0, 90.9, 10.4, 3.8, 63.5),
+        description="Binary attribute classification, per-celebrity non-IID.",
+    ),
+    "femnist": Workload(
+        name="femnist",
+        task_factory=_femnist_task,
+        config=ExperimentConfig(
+            num_nodes=16,
+            degree=4,
+            partition="clients",
+            rounds=30,
+            local_steps=2,
+            batch_size=8,
+            learning_rate=0.05,
+            eval_every=5,
+            eval_test_samples=160,
+            seed=1,
+        ),
+        paper=PaperReference(80.6, 79.6, 81.6, 557.5, 199.2, 64.3),
+        description="Handwritten character classification, per-writer non-IID.",
+    ),
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by name, raising a helpful error for typos."""
+
+    key = name.lower()
+    if key not in WORKLOADS:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(WORKLOADS))}"
+        )
+    return WORKLOADS[key]

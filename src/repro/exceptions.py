@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an experiment or component is configured inconsistently."""
+
+
+class WaveletError(ReproError):
+    """Raised for invalid wavelet names, levels or signal lengths."""
+
+
+class CodecError(ReproError):
+    """Raised when encoding or decoding a payload fails."""
+
+
+class TopologyError(ReproError):
+    """Raised when a communication topology cannot be constructed."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset or partitioning scheme is invalid."""
+
+
+class ModelError(ReproError):
+    """Raised for invalid neural-network shapes or parameters."""
+
+
+class SimulationError(ReproError):
+    """Raised when a decentralized-learning simulation is misconfigured."""

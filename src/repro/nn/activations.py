@@ -1,0 +1,82 @@
+"""Element-wise activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.nn.module import Module
+
+__all__ = ["ReLU", "Sigmoid", "Tanh", "relu", "sigmoid"]
+
+
+def sigmoid(values: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+
+    out = np.empty_like(values, dtype=np.float64)
+    positive = values >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-values[positive]))
+    exp_vals = np.exp(values[~positive])
+    out[~positive] = exp_vals / (1.0 + exp_vals)
+    return out
+
+
+def relu(values: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+
+    return np.maximum(values, 0.0)
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache_mask: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        self._cache_mask = inputs > 0
+        return np.where(self._cache_mask, inputs, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_mask is None:
+            raise ModelError("backward called before forward")
+        return np.asarray(grad_output, dtype=np.float64) * self._cache_mask
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache_output: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        output = np.tanh(np.asarray(inputs, dtype=np.float64))
+        self._cache_output = output
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_output is None:
+            raise ModelError("backward called before forward")
+        return np.asarray(grad_output, dtype=np.float64) * (1.0 - self._cache_output**2)
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache_output: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        output = sigmoid(np.asarray(inputs, dtype=np.float64))
+        self._cache_output = output
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_output is None:
+            raise ModelError("backward called before forward")
+        output = self._cache_output
+        return np.asarray(grad_output, dtype=np.float64) * output * (1.0 - output)

@@ -1,0 +1,184 @@
+"""Convolution and pooling layers (NCHW layout, im2col implementation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.nn.init import kaiming_uniform, uniform_init
+from repro.nn.module import Module, Parameter
+
+__all__ = ["Conv2d", "MaxPool2d"]
+
+
+def _im2col(
+    inputs: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold ``inputs`` (N, C, H, W) into columns of shape (N, out_h*out_w, C*k*k)."""
+
+    batch, channels, height, width = inputs.shape
+    if padding:
+        inputs = np.pad(
+            inputs, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+    padded_h, padded_w = inputs.shape[2], inputs.shape[3]
+    out_h = (padded_h - kernel) // stride + 1
+    out_w = (padded_w - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ModelError("convolution output would be empty; check kernel/stride/padding")
+    # Gather sliding windows with stride tricks, then reorder to columns.
+    shape = (batch, channels, out_h, out_w, kernel, kernel)
+    strides = (
+        inputs.strides[0],
+        inputs.strides[1],
+        inputs.strides[2] * stride,
+        inputs.strides[3] * stride,
+        inputs.strides[2],
+        inputs.strides[3],
+    )
+    windows = np.lib.stride_tricks.as_strided(inputs, shape=shape, strides=strides)
+    columns = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch, out_h * out_w, channels * kernel * kernel
+    )
+    return np.ascontiguousarray(columns), out_h, out_w
+
+
+def _col2im(
+    columns: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Fold column gradients back onto the (padded) input, inverting :func:`_im2col`."""
+
+    batch, channels, height, width = input_shape
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=np.float64
+    )
+    cols = columns.reshape(batch, out_h, out_w, channels, kernel, kernel)
+    for row in range(kernel):
+        row_span = row + stride * np.arange(out_h)
+        for col in range(kernel):
+            col_span = col + stride * np.arange(out_w)
+            padded[:, :, row_span[:, None], col_span[None, :]] += cols[
+                :, :, :, :, row, col
+            ].transpose(0, 3, 1, 2)
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW inputs."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size, stride) <= 0 or padding < 0:
+            raise ModelError("invalid Conv2d hyperparameters")
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            kaiming_uniform(rng, (out_channels, in_channels, kernel_size, kernel_size), fan_in),
+            name="conv.weight",
+        )
+        self.bias = (
+            Parameter(uniform_init(rng, (out_channels,), 1.0 / np.sqrt(fan_in)), name="conv.bias")
+            if bias
+            else None
+        )
+        self._cache: tuple[np.ndarray, tuple[int, int, int, int], int, int] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 4 or inputs.shape[1] != self.in_channels:
+            raise ModelError(
+                f"Conv2d expected NCHW input with {self.in_channels} channels, got {inputs.shape}"
+            )
+        columns, out_h, out_w = _im2col(inputs, self.kernel_size, self.stride, self.padding)
+        weight_matrix = self.weight.value.reshape(self.out_channels, -1)
+        output = columns @ weight_matrix.T  # (N, out_h*out_w, out_channels)
+        if self.bias is not None:
+            output = output + self.bias.value
+        self._cache = (columns, inputs.shape, out_h, out_w)
+        return output.transpose(0, 2, 1).reshape(inputs.shape[0], self.out_channels, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ModelError("backward called before forward")
+        columns, input_shape, out_h, out_w = self._cache
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        batch = input_shape[0]
+        grad_matrix = grad_output.reshape(batch, self.out_channels, out_h * out_w).transpose(0, 2, 1)
+        weight_matrix = self.weight.value.reshape(self.out_channels, -1)
+        # Parameter gradients.
+        grad_weight = np.einsum("npo,npk->ok", grad_matrix, columns)
+        self.weight.grad += grad_weight.reshape(self.weight.value.shape)
+        if self.bias is not None:
+            self.bias.grad += grad_matrix.sum(axis=(0, 1))
+        # Input gradient.
+        grad_columns = grad_matrix @ weight_matrix
+        return _col2im(
+            grad_columns, input_shape, self.kernel_size, self.stride, self.padding, out_h, out_w
+        )
+
+
+class MaxPool2d(Module):
+    """Max pooling with a square window (window size equals the stride)."""
+
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ModelError("kernel_size must be positive")
+        self.kernel_size = int(kernel_size)
+        self._cache: tuple[np.ndarray, np.ndarray, tuple[int, ...]] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 4:
+            raise ModelError("MaxPool2d expects NCHW inputs")
+        batch, channels, height, width = inputs.shape
+        k = self.kernel_size
+        if height % k or width % k:
+            raise ModelError(
+                f"MaxPool2d window {k} does not evenly divide input size {height}x{width}"
+            )
+        reshaped = inputs.reshape(batch, channels, height // k, k, width // k, k)
+        windows = reshaped.transpose(0, 1, 2, 4, 3, 5).reshape(
+            batch, channels, height // k, width // k, k * k
+        )
+        argmax = windows.argmax(axis=-1)
+        output = np.take_along_axis(windows, argmax[..., None], axis=-1)[..., 0]
+        self._cache = (argmax, np.array(inputs.shape), inputs.shape)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ModelError("backward called before forward")
+        argmax, _, input_shape = self._cache
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        batch, channels, height, width = input_shape
+        k = self.kernel_size
+        grad_windows = np.zeros(
+            (batch, channels, height // k, width // k, k * k), dtype=np.float64
+        )
+        np.put_along_axis(grad_windows, argmax[..., None], grad_output[..., None], axis=-1)
+        grad_input = grad_windows.reshape(
+            batch, channels, height // k, width // k, k, k
+        ).transpose(0, 1, 2, 4, 3, 5)
+        return grad_input.reshape(input_shape)

@@ -1,0 +1,105 @@
+"""Loss functions.
+
+Each loss exposes ``forward(predictions, targets) -> float`` and
+``backward() -> np.ndarray`` returning the gradient with respect to the
+predictions, so the training loop is identical for every task:
+
+>>> logits = model(inputs)                      # doctest: +SKIP
+>>> loss_value = loss.forward(logits, targets)  # doctest: +SKIP
+>>> model.backward(loss.backward())             # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+__all__ = ["CrossEntropyLoss", "Loss", "MSELoss", "log_softmax", "softmax"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the usual max-shift for numerical stability."""
+
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=-1, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise log-softmax."""
+
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+class Loss:
+    """Base class: stores the forward cache needed by :meth:`backward`."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+
+class CrossEntropyLoss(Loss):
+    """Softmax cross-entropy over integer class targets (mean over the batch)."""
+
+    def __init__(self) -> None:
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        logits = np.asarray(predictions, dtype=np.float64)
+        labels = np.asarray(targets)
+        if logits.ndim != 2:
+            raise ModelError("CrossEntropyLoss expects (batch, classes) logits")
+        if not np.issubdtype(labels.dtype, np.integer):
+            raise ModelError("CrossEntropyLoss expects integer class targets")
+        if labels.shape[0] != logits.shape[0]:
+            raise ModelError("logits and targets have mismatched batch sizes")
+        if labels.size and (labels.min() < 0 or labels.max() >= logits.shape[1]):
+            raise ModelError("target class out of range")
+        log_probs = log_softmax(logits)
+        batch = logits.shape[0]
+        loss = -float(log_probs[np.arange(batch), labels].mean())
+        self._cache = (logits, labels)
+        return loss
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise ModelError("backward called before forward")
+        logits, labels = self._cache
+        batch = logits.shape[0]
+        grad = softmax(logits)
+        grad[np.arange(batch), labels] -= 1.0
+        return grad / batch
+
+    def predictions(self, logits: np.ndarray) -> np.ndarray:
+        """Return the predicted class per row (used by accuracy metrics)."""
+
+        return np.asarray(logits).argmax(axis=-1)
+
+
+class MSELoss(Loss):
+    """Mean squared error over real-valued targets (mean over all elements)."""
+
+    def __init__(self) -> None:
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        outputs = np.asarray(predictions, dtype=np.float64)
+        values = np.asarray(targets, dtype=np.float64)
+        if outputs.shape != values.shape:
+            values = values.reshape(outputs.shape)
+        self._cache = (outputs, values)
+        return float(np.mean((outputs - values) ** 2))
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise ModelError("backward called before forward")
+        outputs, values = self._cache
+        return 2.0 * (outputs - values) / outputs.size

@@ -1,0 +1,169 @@
+"""Module and parameter abstractions of the numpy neural-network substrate.
+
+This replaces PyTorch in the original JWINS implementation.  Models are built
+from :class:`Module` objects that implement an explicit ``forward``/``backward``
+pair (reverse-mode differentiation without a tape), and expose their trainable
+state as a list of :class:`Parameter` objects.  Decentralized learning treats
+the model as a flat vector, so :func:`get_flat_parameters` /
+:func:`set_flat_parameters` are the bridge every sharing scheme uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.utils.vectors import flatten_arrays, unflatten_vector
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "get_flat_gradients",
+    "get_flat_parameters",
+    "set_flat_parameters",
+]
+
+
+class Parameter:
+    """A trainable array and its accumulated gradient."""
+
+    __slots__ = ("value", "grad", "name")
+
+    def __init__(self, value: np.ndarray, name: str = "") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.value.shape)
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Parameter(name={self.name!r}, shape={self.shape})"
+
+
+class Module:
+    """Base class of every layer and model.
+
+    Subclasses register parameters and sub-modules as plain attributes; the
+    recursive traversal in :meth:`parameters` and :meth:`modules` discovers
+    them in attribute-definition order, which makes the flat parameter layout
+    deterministic across nodes — a requirement for decentralized averaging.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- forward / backward -------------------------------------------------
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+    # -- traversal -----------------------------------------------------------
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all sub-modules, depth-first."""
+
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def parameters(self) -> list[Parameter]:
+        """Return every trainable parameter in deterministic order."""
+
+        found: list[Parameter] = []
+        for module in self.modules():
+            for value in vars(module).values():
+                if isinstance(value, Parameter):
+                    found.append(value)
+                elif isinstance(value, (list, tuple)):
+                    found.extend(item for item in value if isinstance(item, Parameter))
+        return found
+
+    # -- training-state helpers ----------------------------------------------
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    @property
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+
+        return int(sum(parameter.size for parameter in self.parameters()))
+
+    def parameter_shapes(self) -> list[tuple[int, ...]]:
+        return [parameter.shape for parameter in self.parameters()]
+
+
+class Sequential(Module):
+    """Compose modules by chaining their forward and backward passes."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        output = inputs
+        for layer in self.layers:
+            output = layer.forward(output)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+
+def get_flat_parameters(module: Module) -> np.ndarray:
+    """Return all parameters of ``module`` as one flat float64 vector."""
+
+    return flatten_arrays([parameter.value for parameter in module.parameters()])
+
+
+def set_flat_parameters(module: Module, vector: np.ndarray) -> None:
+    """Write ``vector`` back into the parameters of ``module`` (in place)."""
+
+    parameters = module.parameters()
+    shapes = [parameter.shape for parameter in parameters]
+    try:
+        arrays = unflatten_vector(vector, shapes)
+    except ValueError as error:
+        raise ModelError(str(error)) from error
+    for parameter, array in zip(parameters, arrays):
+        parameter.value[...] = array
+
+
+def get_flat_gradients(module: Module) -> np.ndarray:
+    """Return all accumulated gradients of ``module`` as one flat vector."""
+
+    return flatten_arrays([parameter.grad for parameter in module.parameters()])

@@ -1,0 +1,19 @@
+"""Decentralized-learning simulator: nodes, byte metering, scheduler and metrics."""
+
+from repro.simulation.experiment import ExperimentConfig
+from repro.simulation.metrics import ExperimentResult, RoundRecord
+from repro.simulation.network import ByteMeter
+from repro.simulation.node import SimulationNode
+from repro.simulation.runner import build_nodes, run_experiment
+from repro.simulation.timing import TimeModel
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "RoundRecord",
+    "ByteMeter",
+    "SimulationNode",
+    "build_nodes",
+    "run_experiment",
+    "TimeModel",
+]

@@ -1,0 +1,76 @@
+"""Experiment configuration.
+
+A single :class:`ExperimentConfig` captures the deployment (number of nodes,
+topology, partitioning), the optimization hyperparameters (learning rate,
+local steps, batch size), the evaluation cadence and the optional
+target-accuracy early stop used by the "run until convergence" experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.timing import TimeModel
+
+__all__ = ["ExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Configuration of one decentralized-learning run."""
+
+    num_nodes: int = 16
+    degree: int = 4
+    dynamic_topology: bool = False
+    partition: str = "auto"
+    shards_per_node: int = 2
+
+    rounds: int = 50
+    local_steps: int = 2
+    batch_size: int = 8
+    learning_rate: float = 0.05
+    momentum: float = 0.0
+
+    eval_every: int = 5
+    eval_test_samples: int = 256
+    eval_nodes: int | None = None
+
+    seed: int = 1
+    message_drop_probability: float = 0.0
+    target_accuracy: float | None = None
+    stop_at_target: bool = False
+    time_model: TimeModel = field(default_factory=TimeModel)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise ConfigurationError("a decentralized experiment needs at least two nodes")
+        if not 0 < self.degree < self.num_nodes:
+            raise ConfigurationError("degree must be in (0, num_nodes)")
+        if self.rounds <= 0 or self.local_steps <= 0 or self.batch_size <= 0:
+            raise ConfigurationError("rounds, local_steps and batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        if self.eval_every <= 0:
+            raise ConfigurationError("eval_every must be positive")
+        if self.partition not in {"auto", "shards", "clients", "iid"}:
+            raise ConfigurationError(f"unknown partition scheme {self.partition!r}")
+        if not 0.0 <= self.message_drop_probability < 1.0:
+            raise ConfigurationError("message_drop_probability must be in [0, 1)")
+        if self.stop_at_target and self.target_accuracy is None:
+            raise ConfigurationError("stop_at_target requires a target_accuracy")
+
+    def with_rounds(self, rounds: int) -> "ExperimentConfig":
+        """Copy of this configuration with a different round budget."""
+
+        return replace(self, rounds=rounds)
+
+    def with_seed(self, seed: int) -> "ExperimentConfig":
+        """Copy of this configuration with a different root seed."""
+
+        return replace(self, seed=seed)
+
+    def with_target(self, target_accuracy: float, stop: bool = True) -> "ExperimentConfig":
+        """Copy of this configuration that stops when ``target_accuracy`` is reached."""
+
+        return replace(self, target_accuracy=target_accuracy, stop_at_target=stop)

@@ -1,0 +1,122 @@
+"""Per-round metrics and experiment results.
+
+Everything the benchmark harness needs to regenerate the paper's tables and
+figures is collected here: the accuracy/loss learning curves (Figure 4 rows 1
+and 2), the cumulative bytes per node (row 3), the simulated wall clock
+(Figure 6) and helpers such as "rounds until a target accuracy" (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compression.sizing import GIB, MIB
+
+__all__ = ["ExperimentResult", "RoundRecord"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Metrics observed at one evaluation point."""
+
+    round_index: int
+    test_accuracy: float
+    test_loss: float
+    train_loss: float
+    cumulative_bytes_per_node: float
+    cumulative_metadata_bytes_per_node: float
+    simulated_time_seconds: float
+    average_shared_fraction: float
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one decentralized-learning run."""
+
+    scheme: str
+    task: str
+    num_nodes: int
+    rounds_completed: int
+    history: list[RoundRecord] = field(default_factory=list)
+    total_bytes: float = 0.0
+    total_metadata_bytes: float = 0.0
+    total_values_bytes: float = 0.0
+    simulated_time_seconds: float = 0.0
+    target_accuracy: float | None = None
+    reached_target_at_round: int | None = None
+
+    # -- headline numbers ----------------------------------------------------------
+    @property
+    def final_accuracy(self) -> float:
+        return self.history[-1].test_accuracy if self.history else float("nan")
+
+    @property
+    def final_loss(self) -> float:
+        return self.history[-1].test_loss if self.history else float("nan")
+
+    @property
+    def best_accuracy(self) -> float:
+        if not self.history:
+            return float("nan")
+        return max(record.test_accuracy for record in self.history)
+
+    @property
+    def average_bytes_per_node(self) -> float:
+        return self.total_bytes / self.num_nodes if self.num_nodes else 0.0
+
+    @property
+    def total_gib(self) -> float:
+        return self.total_bytes / GIB
+
+    @property
+    def average_mib_per_node(self) -> float:
+        return self.average_bytes_per_node / MIB
+
+    # -- curves ---------------------------------------------------------------------
+    def accuracy_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """(rounds, test accuracy) series — Figure 4 row 1."""
+
+        rounds = np.array([record.round_index for record in self.history])
+        accuracy = np.array([record.test_accuracy for record in self.history])
+        return rounds, accuracy
+
+    def loss_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """(rounds, test loss) series — Figure 4 row 2."""
+
+        rounds = np.array([record.round_index for record in self.history])
+        loss = np.array([record.test_loss for record in self.history])
+        return rounds, loss
+
+    def bytes_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """(rounds, cumulative bytes per node) series — Figure 4 row 3."""
+
+        rounds = np.array([record.round_index for record in self.history])
+        sent = np.array([record.cumulative_bytes_per_node for record in self.history])
+        return rounds, sent
+
+    # -- target-accuracy queries -------------------------------------------------------
+    def rounds_to_accuracy(self, target: float) -> int | None:
+        """First evaluated round whose test accuracy reaches ``target``."""
+
+        for record in self.history:
+            if record.test_accuracy >= target:
+                return record.round_index
+        return None
+
+    def bytes_to_accuracy(self, target: float) -> float | None:
+        """Cumulative bytes per node when ``target`` accuracy was first reached."""
+
+        for record in self.history:
+            if record.test_accuracy >= target:
+                return record.cumulative_bytes_per_node
+        return None
+
+    def time_to_accuracy(self, target: float) -> float | None:
+        """Simulated seconds when ``target`` accuracy was first reached."""
+
+        for record in self.history:
+            if record.test_accuracy >= target:
+                return record.simulated_time_seconds
+        return None

@@ -1,0 +1,112 @@
+"""A simulated decentralized-learning node.
+
+Each node owns a partition of the training data, a private model, an optimizer
+and a sharing scheme.  The original system runs one OS process per node and
+exchanges messages over ZeroMQ; the simulator keeps the nodes in-process but
+preserves the strict state separation: nodes only interact through the
+messages the scheduler carries between them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.interface import SharingScheme
+from repro.datasets.base import Dataset
+from repro.exceptions import SimulationError
+from repro.nn.losses import Loss
+from repro.nn.module import Module, get_flat_parameters, set_flat_parameters
+from repro.nn.optim import SGD
+
+__all__ = ["SimulationNode"]
+
+
+class SimulationNode:
+    """One decentralized-learning participant."""
+
+    def __init__(
+        self,
+        node_id: int,
+        dataset: Dataset,
+        model: Module,
+        loss: Loss,
+        scheme: SharingScheme,
+        learning_rate: float,
+        batch_size: int,
+        local_steps: int,
+        rng: np.random.Generator,
+        momentum: float = 0.0,
+    ) -> None:
+        if len(dataset) == 0:
+            raise SimulationError(f"node {node_id} received an empty data partition")
+        if batch_size <= 0 or local_steps <= 0:
+            raise SimulationError("batch_size and local_steps must be positive")
+        self.node_id = int(node_id)
+        self.dataset = dataset
+        self.model = model
+        self.loss = loss
+        self.scheme = scheme
+        self.batch_size = int(batch_size)
+        self.local_steps = int(local_steps)
+        self.optimizer = SGD(model.parameters(), lr=learning_rate, momentum=momentum)
+        self._rng = rng
+        self.last_train_loss = float("nan")
+
+    # -- training ---------------------------------------------------------------
+    def get_parameters(self) -> np.ndarray:
+        """Current flat model parameters."""
+
+        return get_flat_parameters(self.model)
+
+    def set_parameters(self, vector: np.ndarray) -> None:
+        """Overwrite the model with the given flat parameter vector."""
+
+        set_flat_parameters(self.model, vector)
+
+    def sample_batch(self) -> tuple[np.ndarray, np.ndarray]:
+        """Draw one mini-batch (with replacement when the partition is small)."""
+
+        size = len(self.dataset)
+        replace = size < self.batch_size
+        indices = self._rng.choice(size, size=min(self.batch_size, size), replace=replace)
+        return self.dataset.batch(indices)
+
+    def local_training(self) -> tuple[np.ndarray, np.ndarray]:
+        """Run ``local_steps`` SGD steps; return ``(params_start, params_trained)``."""
+
+        params_start = self.get_parameters()
+        self.model.train()
+        losses = []
+        for _ in range(self.local_steps):
+            inputs, targets = self.sample_batch()
+            self.model.zero_grad()
+            outputs = self.model.forward(inputs)
+            losses.append(self.loss.forward(outputs, targets))
+            self.model.backward(self.loss.backward())
+            self.optimizer.step()
+        self.last_train_loss = float(np.mean(losses))
+        return params_start, self.get_parameters()
+
+    # -- evaluation ---------------------------------------------------------------
+    def evaluate(
+        self,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        accuracy_fn,
+        batch_size: int = 256,
+    ) -> tuple[float, float]:
+        """Return ``(loss, accuracy)`` of this node's model on the given data."""
+
+        self.model.eval()
+        total_loss = 0.0
+        outputs_all = []
+        count = inputs.shape[0]
+        for start in range(0, count, batch_size):
+            batch_inputs = inputs[start : start + batch_size]
+            batch_targets = targets[start : start + batch_size]
+            outputs = self.model.forward(batch_inputs)
+            total_loss += self.loss.forward(outputs, batch_targets) * batch_inputs.shape[0]
+            outputs_all.append(outputs)
+        outputs = np.concatenate(outputs_all, axis=0)
+        self.model.train()
+        return total_loss / count, float(accuracy_fn(outputs, targets))

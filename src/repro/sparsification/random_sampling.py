@@ -1,0 +1,47 @@
+"""Random-sampling sparsification.
+
+A random subset of coefficients of a predefined size is selected each round.
+When the selecting node and its neighbors share the pseudo-random seed, only
+the seed has to travel on the wire (Section II-B2a of the paper), which is why
+this baseline has essentially zero metadata cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.indices import random_indices_from_seed
+from repro.exceptions import ConfigurationError
+from repro.sparsification.base import Sparsifier
+
+__all__ = ["RandomSamplingSparsifier"]
+
+
+class RandomSamplingSparsifier(Sparsifier):
+    """Select a uniformly random subset of coefficients from a shared seed."""
+
+    def __init__(self, seed: int) -> None:
+        self._seed = int(seed)
+        self._round = 0
+
+    @property
+    def current_seed(self) -> int:
+        """Seed that will be used for the next selection (changes per call)."""
+
+        return (self._seed + self._round) & 0x7FFFFFFF
+
+    def select(self, scores: np.ndarray, count: int) -> np.ndarray:
+        scores = np.asarray(scores)
+        if count <= 0:
+            raise ConfigurationError("count must be positive")
+        count = min(count, scores.size)
+        indices = random_indices_from_seed(self.current_seed, count, scores.size)
+        self._round += 1
+        return indices
+
+    def last_seed(self) -> int:
+        """Seed that produced the most recent selection."""
+
+        if self._round == 0:
+            raise ConfigurationError("no selection has been made yet")
+        return (self._seed + self._round - 1) & 0x7FFFFFFF

@@ -1,0 +1,31 @@
+"""TopK sparsification by absolute magnitude."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.sparsification.base import Sparsifier
+
+__all__ = ["TopKSparsifier", "topk_indices"]
+
+
+def topk_indices(scores: np.ndarray, count: int) -> np.ndarray:
+    """Indices of the ``count`` largest |scores|, returned sorted ascending."""
+
+    scores = np.asarray(scores)
+    if count <= 0:
+        raise ConfigurationError("count must be positive")
+    if count >= scores.size:
+        return np.arange(scores.size, dtype=np.int64)
+    magnitudes = np.abs(scores)
+    # argpartition is O(n); exact ordering inside the top-k set is irrelevant.
+    selected = np.argpartition(magnitudes, scores.size - count)[scores.size - count :]
+    return np.sort(selected).astype(np.int64)
+
+
+class TopKSparsifier(Sparsifier):
+    """Select the coefficients with the largest absolute value."""
+
+    def select(self, scores: np.ndarray, count: int) -> np.ndarray:
+        return topk_indices(scores, count)

@@ -1,0 +1,22 @@
+"""Topology substrate: communication graphs and mixing weights."""
+
+from repro.topology.graphs import (
+    DynamicTopology,
+    Topology,
+    fully_connected_topology,
+    random_regular_topology,
+    ring_topology,
+    star_topology,
+)
+from repro.topology.weights import metropolis_hastings_weights, uniform_neighbor_weights
+
+__all__ = [
+    "DynamicTopology",
+    "Topology",
+    "fully_connected_topology",
+    "random_regular_topology",
+    "ring_topology",
+    "star_topology",
+    "metropolis_hastings_weights",
+    "uniform_neighbor_weights",
+]

@@ -1,0 +1,48 @@
+"""Mixing-weight matrices for decentralized averaging.
+
+The paper runs D-PSGD with Metropolis–Hastings weights (Xiao & Boyd, 2004):
+``W[i][j] = 1 / (1 + max(deg(i), deg(j)))`` for every edge, with the diagonal
+absorbing the remaining mass.  The resulting matrix is symmetric and doubly
+stochastic, which is what guarantees the average model is preserved by a
+gossip step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.topology.graphs import Topology
+
+__all__ = ["metropolis_hastings_weights", "uniform_neighbor_weights"]
+
+
+def metropolis_hastings_weights(topology: Topology) -> np.ndarray:
+    """Symmetric doubly-stochastic mixing matrix for ``topology``."""
+
+    size = topology.num_nodes
+    degrees = [topology.degree(node) for node in range(size)]
+    matrix = np.zeros((size, size))
+    for u, v in topology.edges:
+        weight = 1.0 / (1.0 + max(degrees[u], degrees[v]))
+        matrix[u, v] = weight
+        matrix[v, u] = weight
+    for node in range(size):
+        matrix[node, node] = 1.0 - matrix[node].sum()
+    if np.any(matrix < -1e-12):
+        raise TopologyError("Metropolis-Hastings weights produced a negative entry")
+    return matrix
+
+
+def uniform_neighbor_weights(topology: Topology) -> np.ndarray:
+    """Row-stochastic matrix averaging each node uniformly with its neighbors."""
+
+    size = topology.num_nodes
+    matrix = np.zeros((size, size))
+    for node in range(size):
+        neighbors = topology.neighbors(node)
+        share = 1.0 / (len(neighbors) + 1)
+        matrix[node, node] = share
+        for neighbor in neighbors:
+            matrix[node, neighbor] = share
+    return matrix

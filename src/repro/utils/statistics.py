@@ -1,0 +1,81 @@
+"""Statistics helpers used by the evaluation harness.
+
+The paper reports every metric as the mean of five runs within a 95 %
+confidence interval; :func:`mean_confidence_interval` computes exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["ConfidenceInterval", "RunningMean", "mean_confidence_interval"]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A symmetric confidence interval around a sample mean."""
+
+    mean: float
+    half_width: float
+    confidence: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def mean_confidence_interval(
+    samples: Sequence[float] | np.ndarray, confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Return the mean of ``samples`` and its Student-t confidence interval.
+
+    With a single sample the half width is zero (there is no dispersion
+    information), matching how a single-run experiment would be reported.
+    """
+
+    values = np.asarray(list(samples), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("mean_confidence_interval requires at least one sample")
+    mean = float(values.mean())
+    if values.size == 1:
+        return ConfidenceInterval(mean=mean, half_width=0.0, confidence=confidence)
+    sem = float(stats.sem(values))
+    half = float(sem * stats.t.ppf((1.0 + confidence) / 2.0, values.size - 1))
+    return ConfidenceInterval(mean=mean, half_width=half, confidence=confidence)
+
+
+class RunningMean:
+    """Numerically stable running mean (Welford), used by per-round metrics."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+
+    def update(self, value: float, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self._count += weight
+        self._mean += (value - self._mean) * (weight / self._count)
+
+    def update_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.update(float(value))
+
+    @property
+    def count(self) -> float:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._mean

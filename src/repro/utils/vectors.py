@@ -1,0 +1,48 @@
+"""Flat-vector helpers.
+
+JWINS treats a model as a single flat vector of parameters (the paper calls
+this out explicitly: "JWINS considers models as flat vectors of parameters").
+These helpers convert between a list of parameter arrays and that flat vector.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["flatten_arrays", "unflatten_vector"]
+
+
+def flatten_arrays(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate ``arrays`` into one contiguous 1-D float64 vector."""
+
+    if not arrays:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate([np.asarray(a, dtype=np.float64).ravel() for a in arrays])
+
+
+def unflatten_vector(
+    vector: np.ndarray, shapes: Sequence[tuple[int, ...]]
+) -> list[np.ndarray]:
+    """Split a flat ``vector`` back into arrays with the given ``shapes``.
+
+    Raises
+    ------
+    ValueError
+        If the vector length does not match the total number of elements.
+    """
+
+    vector = np.asarray(vector, dtype=np.float64).ravel()
+    total = int(sum(int(np.prod(shape)) for shape in shapes))
+    if vector.size != total:
+        raise ValueError(
+            f"vector has {vector.size} elements but shapes require {total}"
+        )
+    out: list[np.ndarray] = []
+    offset = 0
+    for shape in shapes:
+        size = int(np.prod(shape))
+        out.append(vector[offset : offset + size].reshape(shape).copy())
+        offset += size
+    return out

@@ -1,0 +1,211 @@
+"""Discrete wavelet transform with periodic boundary handling.
+
+This is the substrate that replaces PyWavelets in the original JWINS
+implementation.  Only what JWINS needs is implemented: the one-dimensional
+orthogonal DWT of a flat parameter vector, multi-level decomposition and the
+exact inverse.
+
+The analysis operator uses circular (periodized) boundary extension.  For an
+even-length signal and orthonormal filters the operator is orthogonal, hence
+the synthesis step is simply its transpose and reconstruction is exact up to
+floating-point error.  Odd-length inputs are zero-padded by one element at the
+level where the odd length occurs; the padding is recorded so the inverse can
+trim it again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import WaveletError
+from repro.wavelets.filters import WaveletFilterBank, get_filter_bank
+
+__all__ = [
+    "MultiLevelCoefficients",
+    "dwt_single",
+    "idwt_single",
+    "max_decomposition_level",
+    "wavedec",
+    "waverec",
+]
+
+
+def _analysis(signal: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Circularly filter ``signal`` with ``taps`` and downsample by two."""
+
+    length = signal.size
+    half = length // 2
+    # Positions (2 * i + k) mod length for i in [0, half) and k in [0, taps).
+    starts = 2 * np.arange(half)
+    out = np.zeros(half, dtype=np.float64)
+    for k, tap in enumerate(taps):
+        out += tap * signal[(starts + k) % length]
+    return out
+
+
+def _synthesis_accumulate(
+    coefficients: np.ndarray, taps: np.ndarray, length: int, out: np.ndarray
+) -> None:
+    """Accumulate the transpose of :func:`_analysis` into ``out``."""
+
+    starts = 2 * np.arange(coefficients.size)
+    for k, tap in enumerate(taps):
+        np.add.at(out, (starts + k) % length, tap * coefficients)
+
+
+def dwt_single(
+    signal: np.ndarray, wavelet: str | WaveletFilterBank = "sym2"
+) -> tuple[np.ndarray, np.ndarray, bool]:
+    """One level of the periodized DWT.
+
+    Returns ``(approximation, detail, padded)`` where ``padded`` indicates the
+    input was zero-padded by one element to reach an even length.
+    """
+
+    bank = wavelet if isinstance(wavelet, WaveletFilterBank) else get_filter_bank(wavelet)
+    values = np.asarray(signal, dtype=np.float64).ravel()
+    if values.size < 2:
+        raise WaveletError("dwt_single requires a signal with at least 2 elements")
+    padded = values.size % 2 == 1
+    if padded:
+        values = np.concatenate([values, np.zeros(1)])
+    approx = _analysis(values, bank.dec_lo)
+    detail = _analysis(values, bank.dec_hi)
+    return approx, detail, padded
+
+
+def idwt_single(
+    approx: np.ndarray,
+    detail: np.ndarray,
+    wavelet: str | WaveletFilterBank = "sym2",
+    padded: bool = False,
+) -> np.ndarray:
+    """Invert one level of the periodized DWT."""
+
+    bank = wavelet if isinstance(wavelet, WaveletFilterBank) else get_filter_bank(wavelet)
+    approx = np.asarray(approx, dtype=np.float64).ravel()
+    detail = np.asarray(detail, dtype=np.float64).ravel()
+    if approx.size != detail.size:
+        raise WaveletError(
+            f"approximation ({approx.size}) and detail ({detail.size}) lengths differ"
+        )
+    length = 2 * approx.size
+    out = np.zeros(length, dtype=np.float64)
+    _synthesis_accumulate(approx, bank.dec_lo, length, out)
+    _synthesis_accumulate(detail, bank.dec_hi, length, out)
+    if padded:
+        out = out[:-1]
+    return out
+
+
+def max_decomposition_level(length: int, wavelet: str | WaveletFilterBank = "sym2") -> int:
+    """Largest decomposition level for a signal of ``length`` elements.
+
+    A level is allowed as long as the signal entering it has at least twice the
+    filter length, which guarantees the circular analysis operator stays
+    orthogonal.
+    """
+
+    bank = wavelet if isinstance(wavelet, WaveletFilterBank) else get_filter_bank(wavelet)
+    level = 0
+    current = int(length)
+    while current >= 2 * bank.length:
+        current = (current + 1) // 2
+        level += 1
+    return level
+
+
+@dataclass(frozen=True)
+class MultiLevelCoefficients:
+    """Coefficients of a multi-level DWT.
+
+    ``arrays`` stores, in order, the deepest approximation followed by the
+    detail bands from deepest to shallowest (the PyWavelets ``wavedec``
+    convention).  ``pad_flags[j]`` records whether the input to level ``j``
+    (counting from the shallowest level, ``j == 0`` being the original signal)
+    was zero-padded by one element.
+    """
+
+    wavelet: str
+    arrays: tuple[np.ndarray, ...]
+    pad_flags: tuple[bool, ...]
+    original_length: int
+
+    @property
+    def levels(self) -> int:
+        return len(self.arrays) - 1
+
+    @property
+    def total_size(self) -> int:
+        return int(sum(a.size for a in self.arrays))
+
+
+def wavedec(
+    signal: np.ndarray,
+    wavelet: str | WaveletFilterBank = "sym2",
+    levels: int | None = 4,
+) -> MultiLevelCoefficients:
+    """Multi-level periodized wavelet decomposition of a 1-D signal.
+
+    Parameters
+    ----------
+    signal:
+        Flat vector to decompose.
+    wavelet:
+        Wavelet name or a prebuilt :class:`WaveletFilterBank`.
+    levels:
+        Number of decomposition levels.  ``None`` uses the maximum level; a
+        requested level larger than the maximum is clamped to the maximum (the
+        paper observed no benefit beyond four levels, and very small vectors
+        cannot support four).
+    """
+
+    bank = wavelet if isinstance(wavelet, WaveletFilterBank) else get_filter_bank(wavelet)
+    values = np.asarray(signal, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise WaveletError("cannot decompose an empty signal")
+    limit = max_decomposition_level(values.size, bank)
+    if levels is None:
+        levels = limit
+    if levels < 0:
+        raise WaveletError("levels must be non-negative")
+    levels = min(int(levels), limit)
+
+    details: list[np.ndarray] = []
+    pad_flags: list[bool] = []
+    current = values
+    for _ in range(levels):
+        approx, detail, padded = dwt_single(current, bank)
+        details.append(detail)
+        pad_flags.append(padded)
+        current = approx
+    arrays = tuple([current] + list(reversed(details)))
+    return MultiLevelCoefficients(
+        wavelet=bank.name,
+        arrays=arrays,
+        pad_flags=tuple(pad_flags),
+        original_length=values.size,
+    )
+
+
+def waverec(coefficients: MultiLevelCoefficients) -> np.ndarray:
+    """Invert :func:`wavedec`, returning the reconstructed flat signal."""
+
+    bank = get_filter_bank(coefficients.wavelet)
+    arrays = coefficients.arrays
+    if len(arrays) == 1:
+        return np.asarray(arrays[0], dtype=np.float64).copy()
+    current = np.asarray(arrays[0], dtype=np.float64)
+    # Details are stored deepest-first; pad flags are stored shallowest-first.
+    for depth, detail in enumerate(arrays[1:]):
+        level_index = coefficients.levels - 1 - depth
+        padded = coefficients.pad_flags[level_index]
+        current = idwt_single(current, detail, bank, padded=padded)
+    if current.size != coefficients.original_length:
+        raise WaveletError(
+            "reconstructed length does not match the original signal length: "
+            f"{current.size} != {coefficients.original_length}"
+        )
+    return current

@@ -1,0 +1,69 @@
+"""Fast-Fourier-transform representation of a flat model vector.
+
+The paper's Figure 2 compares sparsification in the wavelet domain against
+sparsification in the FFT domain and plain random sampling of parameters.
+This module provides the FFT counterpart: the forward transform maps a real
+vector of length ``n`` onto a real coefficient vector of the same length
+(packed real and imaginary parts of the half-spectrum) so that the downstream
+sparsification code can treat wavelet and Fourier coefficients identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import WaveletError
+
+__all__ = ["FourierLayout", "fft_forward", "fft_inverse"]
+
+
+@dataclass(frozen=True)
+class FourierLayout:
+    """Metadata describing how a real FFT spectrum was packed."""
+
+    original_length: int
+
+    @property
+    def spectrum_bins(self) -> int:
+        return self.original_length // 2 + 1
+
+
+def fft_forward(signal: np.ndarray) -> tuple[np.ndarray, FourierLayout]:
+    """Transform ``signal`` to a real coefficient vector of equal length.
+
+    The real FFT of a length-``n`` real signal has ``n // 2 + 1`` complex bins.
+    The DC bin is always real, and for even ``n`` the Nyquist bin is real too,
+    so the packed representation ``[real parts | imaginary parts of interior
+    bins]`` has exactly ``n`` degrees of freedom.
+    """
+
+    values = np.asarray(signal, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise WaveletError("cannot transform an empty signal")
+    spectrum = np.fft.rfft(values)
+    layout = FourierLayout(original_length=values.size)
+    interior = spectrum[1 : values.size - values.size // 2]
+    packed = np.concatenate([spectrum.real, interior.imag])
+    if packed.size != values.size:  # pragma: no cover - defensive invariant
+        raise WaveletError("packed FFT representation has unexpected size")
+    return packed, layout
+
+
+def fft_inverse(packed: np.ndarray, layout: FourierLayout) -> np.ndarray:
+    """Invert :func:`fft_forward`."""
+
+    values = np.asarray(packed, dtype=np.float64).ravel()
+    length = layout.original_length
+    if values.size != length:
+        raise WaveletError(
+            f"packed FFT vector has {values.size} elements, expected {length}"
+        )
+    bins = layout.spectrum_bins
+    real = values[:bins]
+    interior_count = length - bins
+    imag = np.zeros(bins, dtype=np.float64)
+    imag[1 : 1 + interior_count] = values[bins:]
+    spectrum = real + 1j * imag
+    return np.fft.irfft(spectrum, n=length)

@@ -1,0 +1,83 @@
+"""Packing multi-level wavelet coefficients into a single flat vector.
+
+JWINS ranks, sparsifies, transmits and averages wavelet coefficients as one
+flat vector (the same way it treats the model parameters themselves).  The
+:class:`CoefficientLayout` records how that flat vector maps back onto the
+per-level coefficient bands so the inverse transform can be applied after
+averaging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import WaveletError
+from repro.wavelets.dwt import MultiLevelCoefficients
+
+__all__ = ["CoefficientLayout", "pack_coefficients", "unpack_coefficients"]
+
+
+@dataclass(frozen=True)
+class CoefficientLayout:
+    """Shape metadata needed to unpack a flat coefficient vector."""
+
+    wavelet: str
+    band_sizes: tuple[int, ...]
+    pad_flags: tuple[bool, ...]
+    original_length: int
+
+    @property
+    def total_size(self) -> int:
+        return int(sum(self.band_sizes))
+
+    @property
+    def levels(self) -> int:
+        return len(self.band_sizes) - 1
+
+    def band_slices(self) -> list[slice]:
+        """Return the slice of the flat vector occupied by each band."""
+
+        slices: list[slice] = []
+        offset = 0
+        for size in self.band_sizes:
+            slices.append(slice(offset, offset + size))
+            offset += size
+        return slices
+
+
+def pack_coefficients(
+    coefficients: MultiLevelCoefficients,
+) -> tuple[np.ndarray, CoefficientLayout]:
+    """Flatten ``coefficients`` into ``(vector, layout)``."""
+
+    vector = np.concatenate([np.asarray(a, dtype=np.float64).ravel() for a in coefficients.arrays])
+    layout = CoefficientLayout(
+        wavelet=coefficients.wavelet,
+        band_sizes=tuple(int(a.size) for a in coefficients.arrays),
+        pad_flags=coefficients.pad_flags,
+        original_length=coefficients.original_length,
+    )
+    return vector, layout
+
+
+def unpack_coefficients(
+    vector: np.ndarray, layout: CoefficientLayout
+) -> MultiLevelCoefficients:
+    """Rebuild :class:`MultiLevelCoefficients` from a flat vector and its layout."""
+
+    values = np.asarray(vector, dtype=np.float64).ravel()
+    if values.size != layout.total_size:
+        raise WaveletError(
+            f"coefficient vector has {values.size} elements, layout expects {layout.total_size}"
+        )
+    arrays: list[np.ndarray] = []
+    for band in layout.band_slices():
+        arrays.append(values[band].copy())
+    return MultiLevelCoefficients(
+        wavelet=layout.wavelet,
+        arrays=tuple(arrays),
+        pad_flags=layout.pad_flags,
+        original_length=layout.original_length,
+    )

@@ -1,0 +1,63 @@
+"""Tests for Elias gamma coding."""
+
+import numpy as np
+import pytest
+
+from repro.compression.elias import elias_gamma_decode, elias_gamma_encode, gamma_code_length
+from repro.exceptions import CodecError
+
+
+def test_known_code_lengths():
+    # gamma(1) = "1" (1 bit), gamma(2) = "010" (3 bits), gamma(5) = "00101" (5 bits).
+    assert gamma_code_length(1) == 1
+    assert gamma_code_length(2) == 3
+    assert gamma_code_length(5) == 5
+    assert gamma_code_length(255) == 15
+
+
+def test_roundtrip_small_values():
+    values = [1, 2, 3, 4, 5, 6, 7, 8, 15, 16, 255, 256]
+    payload, bits, count = elias_gamma_encode(values)
+    assert elias_gamma_decode(payload, bits, count) == values
+
+
+def test_roundtrip_random_values():
+    rng = np.random.default_rng(0)
+    values = rng.integers(1, 1_000_000, size=300).tolist()
+    payload, bits, count = elias_gamma_encode(values)
+    assert elias_gamma_decode(payload, bits, count) == values
+
+
+def test_bit_length_matches_sum_of_code_lengths():
+    values = [1, 7, 300, 42]
+    _, bits, _ = elias_gamma_encode(values)
+    assert bits == sum(gamma_code_length(v) for v in values)
+
+
+def test_small_gaps_compress_well():
+    ones = [1] * 1000
+    payload, bits, _ = elias_gamma_encode(ones)
+    assert bits == 1000
+    assert len(payload) == 125
+
+
+def test_zero_rejected():
+    with pytest.raises(CodecError):
+        elias_gamma_encode([0])
+
+
+def test_negative_rejected():
+    with pytest.raises(CodecError):
+        elias_gamma_encode([3, -1])
+
+
+def test_decode_with_leftover_bits_raises():
+    payload, bits, count = elias_gamma_encode([1, 2, 3])
+    with pytest.raises(CodecError):
+        elias_gamma_decode(payload, bits, count - 1)
+
+
+def test_empty_sequence():
+    payload, bits, count = elias_gamma_encode([])
+    assert count == 0
+    assert elias_gamma_decode(payload, bits, count) == []

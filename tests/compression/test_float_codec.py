@@ -1,0 +1,71 @@
+"""Tests for float payload codecs."""
+
+import numpy as np
+import pytest
+
+from repro.compression.float_codec import Float16Codec, FloatCodec, RawFloatCodec
+from repro.exceptions import CodecError
+
+
+def test_lossless_roundtrip_exact_at_float32():
+    rng = np.random.default_rng(0)
+    values = rng.normal(scale=0.03, size=4096).astype(np.float32)
+    codec = FloatCodec()
+    restored = codec.decompress(codec.compress(values))
+    assert np.array_equal(restored, values)
+
+
+def test_compresses_smooth_payloads():
+    values = np.linspace(0.0, 1.0, 8192, dtype=np.float32)
+    codec = FloatCodec()
+    compressed = codec.compress(values)
+    assert compressed.size_bytes < values.size * 4 * 0.6
+
+
+def test_empty_payload_roundtrip():
+    codec = FloatCodec()
+    restored = codec.decompress(codec.compress(np.zeros(0, dtype=np.float32)))
+    assert restored.size == 0
+
+
+def test_single_value_roundtrip():
+    codec = FloatCodec()
+    value = np.array([3.14159], dtype=np.float32)
+    assert np.array_equal(codec.decompress(codec.compress(value)), value)
+
+
+def test_raw_codec_size_is_four_bytes_per_value():
+    codec = RawFloatCodec()
+    compressed = codec.compress(np.ones(100))
+    assert compressed.size_bytes == 400 + 4
+    assert np.array_equal(codec.decompress(compressed), np.ones(100, dtype=np.float32))
+
+
+def test_float16_codec_is_lossy_but_small():
+    rng = np.random.default_rng(1)
+    values = rng.normal(size=256).astype(np.float32)
+    codec = Float16Codec()
+    compressed = codec.compress(values)
+    assert compressed.size_bytes == 2 * 256 + 4
+    restored = codec.decompress(compressed)
+    assert np.allclose(restored, values, atol=1e-2)
+
+
+def test_wrong_codec_rejected():
+    values = np.ones(8, dtype=np.float32)
+    compressed = RawFloatCodec().compress(values)
+    with pytest.raises(CodecError):
+        FloatCodec().decompress(compressed)
+
+
+def test_invalid_level_rejected():
+    with pytest.raises(CodecError):
+        FloatCodec(level=0)
+
+
+def test_special_values_preserved():
+    values = np.array([0.0, -0.0, np.inf, -np.inf, 1e-38, -1e38], dtype=np.float32)
+    codec = FloatCodec()
+    restored = codec.decompress(codec.compress(values))
+    assert np.array_equal(np.isinf(restored), np.isinf(values))
+    assert np.array_equal(restored, values)

@@ -1,0 +1,94 @@
+"""Tests for the index codecs (sparsification metadata)."""
+
+import numpy as np
+import pytest
+
+from repro.compression.indices import (
+    EliasGammaIndexCodec,
+    RawIndexCodec,
+    SeedIndexCodec,
+    random_indices_from_seed,
+)
+from repro.exceptions import CodecError
+
+
+@pytest.fixture
+def indices():
+    rng = np.random.default_rng(0)
+    return np.sort(rng.choice(5000, size=800, replace=False))
+
+
+def test_raw_codec_roundtrip(indices):
+    codec = RawIndexCodec()
+    encoded = codec.encode(indices, 5000)
+    assert np.array_equal(codec.decode(encoded), indices)
+    assert encoded.size_bytes >= 4 * indices.size
+
+
+def test_elias_codec_roundtrip(indices):
+    codec = EliasGammaIndexCodec()
+    encoded = codec.encode(indices, 5000)
+    assert np.array_equal(codec.decode(encoded), indices)
+
+
+def test_elias_is_smaller_than_raw(indices):
+    raw = RawIndexCodec().encode(indices, 5000)
+    gamma = EliasGammaIndexCodec().encode(indices, 5000)
+    assert gamma.size_bytes < raw.size_bytes / 2
+
+
+def test_elias_handles_unsorted_input():
+    codec = EliasGammaIndexCodec()
+    shuffled = np.array([9, 3, 7, 0, 5])
+    encoded = codec.encode(shuffled, 10)
+    assert np.array_equal(codec.decode(encoded), np.sort(shuffled))
+
+
+def test_elias_dense_selection_costs_about_one_bit_per_index():
+    codec = EliasGammaIndexCodec()
+    encoded = codec.encode(np.arange(8000), 8000)
+    assert encoded.size_bytes < 8000 / 8 + 64
+
+
+def test_duplicate_indices_rejected():
+    with pytest.raises(CodecError):
+        EliasGammaIndexCodec().encode(np.array([1, 1, 2]), 10)
+
+
+def test_out_of_range_indices_rejected():
+    with pytest.raises(CodecError):
+        RawIndexCodec().encode(np.array([0, 10]), 10)
+
+
+def test_decoding_with_wrong_codec_raises(indices):
+    encoded = RawIndexCodec().encode(indices, 5000)
+    with pytest.raises(CodecError):
+        EliasGammaIndexCodec().decode(encoded)
+
+
+def test_random_indices_from_seed_deterministic():
+    a = random_indices_from_seed(7, 50, 1000)
+    b = random_indices_from_seed(7, 50, 1000)
+    assert np.array_equal(a, b)
+    assert np.unique(a).size == 50
+
+
+def test_random_indices_too_many_raises():
+    with pytest.raises(CodecError):
+        random_indices_from_seed(1, 11, 10)
+
+
+def test_seed_codec_roundtrip():
+    seed = 99
+    expected = random_indices_from_seed(seed, 64, 512)
+    codec = SeedIndexCodec(seed)
+    encoded = codec.encode(expected, 512)
+    assert encoded.payload == b""
+    assert encoded.size_bytes < 20
+    assert np.array_equal(codec.decode(encoded), expected)
+
+
+def test_seed_codec_rejects_foreign_indices():
+    codec = SeedIndexCodec(1)
+    with pytest.raises(CodecError):
+        codec.encode(np.array([1, 2, 3]), 512)

@@ -1,0 +1,69 @@
+"""Tests for the QSGD-style stochastic quantizer."""
+
+import numpy as np
+import pytest
+
+from repro.compression.quantization import QsgdQuantizer
+from repro.exceptions import CodecError
+
+
+def test_roundtrip_preserves_norm_and_signs():
+    rng = np.random.default_rng(0)
+    values = rng.normal(size=500)
+    quantizer = QsgdQuantizer(bits=8, rng=np.random.default_rng(1))
+    quantized = quantizer.quantize(values)
+    restored = quantizer.dequantize(quantized)
+    assert restored.shape == values.shape
+    nonzero = restored != 0
+    assert np.array_equal(np.sign(restored[nonzero]), np.sign(values[nonzero]))
+    assert quantized.norm == pytest.approx(float(np.linalg.norm(values)))
+
+
+def test_quantization_is_unbiased_in_expectation():
+    values = np.array([0.3, -0.7, 0.1, 0.9])
+    quantizer = QsgdQuantizer(bits=2, rng=np.random.default_rng(2))
+    average = np.zeros_like(values)
+    trials = 4000
+    for _ in range(trials):
+        average += quantizer.dequantize(quantizer.quantize(values))
+    average /= trials
+    assert np.allclose(average, values, atol=0.02)
+
+
+def test_more_bits_means_smaller_error():
+    rng = np.random.default_rng(3)
+    values = rng.normal(size=1000)
+    errors = {}
+    for bits in (2, 4, 8):
+        quantizer = QsgdQuantizer(bits=bits, rng=np.random.default_rng(4))
+        restored = quantizer.dequantize(quantizer.quantize(values))
+        errors[bits] = float(np.mean((restored - values) ** 2))
+    assert errors[8] < errors[4] < errors[2]
+
+
+def test_size_bytes_scales_with_bits():
+    values = np.ones(800)
+    small = QsgdQuantizer(bits=2).quantize(values)
+    large = QsgdQuantizer(bits=8).quantize(values)
+    assert small.size_bytes < large.size_bytes
+    # 2-bit quantization: 1 sign bit + 2 level bits per value plus the norm.
+    assert small.size_bytes == 4 + (800 * 3 + 7) // 8
+
+
+def test_zero_vector_roundtrip():
+    quantizer = QsgdQuantizer(bits=4)
+    quantized = quantizer.quantize(np.zeros(10))
+    assert np.array_equal(quantizer.dequantize(quantized), np.zeros(10))
+
+
+def test_bit_width_mismatch_raises():
+    quantized = QsgdQuantizer(bits=4).quantize(np.ones(5))
+    with pytest.raises(CodecError):
+        QsgdQuantizer(bits=8).dequantize(quantized)
+
+
+def test_invalid_bits_raise():
+    with pytest.raises(CodecError):
+        QsgdQuantizer(bits=0)
+    with pytest.raises(CodecError):
+        QsgdQuantizer(bits=20)

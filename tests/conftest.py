@@ -1,0 +1,73 @@
+"""Shared fixtures: small tasks and configurations that keep tests fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset, LearningTask, classification_accuracy
+from repro.datasets.synthetic import make_class_images
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.models import MLPClassifier
+from repro.simulation.experiment import ExperimentConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def make_toy_task(
+    seed: int = 7,
+    train_samples: int = 160,
+    test_samples: int = 64,
+    num_classes: int = 4,
+    image_size: int = 4,
+    hidden: int = 16,
+) -> LearningTask:
+    """A tiny, quickly learnable classification task used across the test suite.
+
+    The model is a small MLP over 1x4x4 synthetic class-prototype images, so a
+    full decentralized experiment over a handful of rounds runs in well under a
+    second.
+    """
+
+    generator = np.random.default_rng(seed)
+    inputs, labels = make_class_images(
+        generator, train_samples + test_samples, num_classes, image_size=image_size, channels=1,
+        noise=0.5,
+    )
+    train = Dataset(inputs[:train_samples], labels[:train_samples])
+    test = Dataset(inputs[train_samples:], labels[train_samples:])
+    input_size = image_size * image_size
+    return LearningTask(
+        name="toy",
+        train=train,
+        test=test,
+        model_factory=lambda model_rng: MLPClassifier(input_size, hidden, num_classes, model_rng),
+        loss_factory=CrossEntropyLoss,
+        accuracy_fn=classification_accuracy,
+    )
+
+
+@pytest.fixture
+def toy_task() -> LearningTask:
+    return make_toy_task()
+
+
+@pytest.fixture
+def small_config() -> ExperimentConfig:
+    """A 6-node configuration that completes in a fraction of a second."""
+
+    return ExperimentConfig(
+        num_nodes=6,
+        degree=2,
+        rounds=4,
+        local_steps=1,
+        batch_size=8,
+        learning_rate=0.1,
+        eval_every=2,
+        eval_test_samples=48,
+        seed=3,
+        partition="shards",
+    )

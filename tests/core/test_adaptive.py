@@ -1,0 +1,108 @@
+"""Tests for the adaptive (band-weighted) JWINS variant."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import (
+    AdaptiveJwinsScheme,
+    adaptive_jwins_factory,
+    apply_band_weights,
+    band_weights_for,
+)
+from repro.core.config import JwinsConfig
+from repro.core.cutoff import CutoffDistribution
+from repro.core.interface import RoundContext
+from repro.exceptions import ConfigurationError
+from repro.wavelets.transform import WaveletTransform
+
+MODEL_SIZE = 96
+
+
+def _context(trained, neighbors=()):
+    weight = 1.0 / (len(neighbors) + 1)
+    return RoundContext(
+        round_index=0,
+        params_start=np.zeros(MODEL_SIZE),
+        params_trained=trained,
+        self_weight=weight,
+        neighbor_weights={n: weight for n in neighbors},
+        rng=np.random.default_rng(0),
+    )
+
+
+def test_band_weights_shape_and_monotonicity():
+    layout = WaveletTransform(MODEL_SIZE).layout
+    weights = band_weights_for(layout, approximation_boost=2.0)
+    assert weights.size == len(layout.band_sizes)
+    assert weights[0] == pytest.approx(2.0)
+    assert weights[-1] == pytest.approx(1.0)
+    assert np.all(np.diff(weights) <= 0)
+
+
+def test_band_weights_invalid_boost():
+    layout = WaveletTransform(MODEL_SIZE).layout
+    with pytest.raises(ConfigurationError):
+        band_weights_for(layout, approximation_boost=0.0)
+
+
+def test_apply_band_weights_scales_each_band():
+    transform = WaveletTransform(MODEL_SIZE)
+    layout = transform.layout
+    scores = np.ones(layout.total_size)
+    weights = np.arange(1, len(layout.band_sizes) + 1, dtype=float)
+    adjusted = apply_band_weights(scores, layout, weights)
+    for band, weight in zip(layout.band_slices(), weights):
+        assert np.allclose(adjusted[band], weight)
+
+
+def test_apply_band_weights_validates_sizes():
+    layout = WaveletTransform(MODEL_SIZE).layout
+    with pytest.raises(ConfigurationError):
+        apply_band_weights(np.ones(3), layout, np.ones(len(layout.band_sizes)))
+    with pytest.raises(ConfigurationError):
+        apply_band_weights(np.ones(layout.total_size), layout, np.ones(1 + len(layout.band_sizes)))
+
+
+def test_adaptive_scheme_requires_wavelet():
+    with pytest.raises(ConfigurationError):
+        AdaptiveJwinsScheme(0, MODEL_SIZE, seed=1, config=JwinsConfig(use_wavelet=False))
+
+
+def test_adaptive_scheme_biases_selection_towards_coarse_bands():
+    """With a large boost the approximation band dominates the selection."""
+
+    config = JwinsConfig(cutoff=CutoffDistribution.fixed(0.1), use_random_cutoff=False)
+    plain = AdaptiveJwinsScheme(0, MODEL_SIZE, seed=1, config=config, approximation_boost=1.0)
+    boosted = AdaptiveJwinsScheme(1, MODEL_SIZE, seed=1, config=config, approximation_boost=50.0)
+    trained = np.random.default_rng(3).normal(size=MODEL_SIZE)
+
+    plain_message = plain.prepare(_context(trained))
+    boosted_message = boosted.prepare(_context(trained))
+    layout = WaveletTransform(MODEL_SIZE).layout
+    approx_band = layout.band_slices()[0]
+    in_approx_boosted = np.sum(
+        (boosted_message.payload["indices"] >= approx_band.start)
+        & (boosted_message.payload["indices"] < approx_band.stop)
+    )
+    in_approx_plain = np.sum(
+        (plain_message.payload["indices"] >= approx_band.start)
+        & (plain_message.payload["indices"] < approx_band.stop)
+    )
+    assert in_approx_boosted >= in_approx_plain
+
+
+def test_adaptive_scheme_round_trip_without_neighbors():
+    config = JwinsConfig(cutoff=CutoffDistribution.fixed(0.4), use_random_cutoff=False)
+    scheme = AdaptiveJwinsScheme(0, MODEL_SIZE, seed=1, config=config)
+    trained = np.random.default_rng(5).normal(size=MODEL_SIZE)
+    context = _context(trained)
+    scheme.prepare(context)
+    new_params = scheme.aggregate(context, [])
+    assert np.allclose(new_params, trained, atol=1e-8)
+
+
+def test_factory_builds_adaptive_schemes():
+    scheme = adaptive_jwins_factory(approximation_boost=3.0)(2, MODEL_SIZE, 7)
+    assert isinstance(scheme, AdaptiveJwinsScheme)
+    assert scheme.node_id == 2
+    assert scheme.name == "jwins-adaptive"

@@ -1,0 +1,82 @@
+"""Tests for partial (sparse) weighted averaging."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import SparseContribution, partial_weighted_average
+from repro.exceptions import SimulationError
+
+
+def test_no_contributions_returns_own_vector():
+    own = np.arange(5.0)
+    result = partial_weighted_average(own, 1.0, [])
+    assert np.array_equal(result, own)
+    assert result is not own
+
+
+def test_full_contributions_match_dense_average():
+    own = np.array([1.0, 2.0, 3.0])
+    other = np.array([3.0, 4.0, 5.0])
+    contribution = SparseContribution(0.5, np.arange(3), other)
+    result = partial_weighted_average(own, 0.5, [contribution])
+    assert np.allclose(result, 0.5 * own + 0.5 * other)
+
+
+def test_missing_entries_filled_with_own_values():
+    own = np.array([1.0, 1.0, 1.0, 1.0])
+    contribution = SparseContribution(0.5, np.array([1]), np.array([3.0]))
+    result = partial_weighted_average(own, 0.5, [contribution])
+    assert np.allclose(result, [1.0, 2.0, 1.0, 1.0])
+
+
+def test_multiple_sparse_contributions():
+    own = np.zeros(4)
+    contributions = [
+        SparseContribution(0.25, np.array([0, 1]), np.array([4.0, 4.0])),
+        SparseContribution(0.25, np.array([1, 2]), np.array([8.0, 8.0])),
+    ]
+    result = partial_weighted_average(own, 0.5, contributions)
+    assert np.allclose(result, [1.0, 3.0, 2.0, 0.0])
+
+
+def test_weights_above_one_rejected():
+    own = np.zeros(3)
+    contribution = SparseContribution(0.7, np.array([0]), np.array([1.0]))
+    with pytest.raises(SimulationError):
+        partial_weighted_average(own, 0.5, [contribution])
+
+
+def test_missing_mass_keeps_own_values():
+    """A dropped neighbor (weights summing below one) leaves own values in place."""
+
+    own = np.full(3, 2.0)
+    contribution = SparseContribution(0.25, np.array([0]), np.array([6.0]))
+    result = partial_weighted_average(own, 0.5, [contribution])
+    assert np.allclose(result, [3.0, 2.0, 2.0])
+
+
+def test_indices_out_of_range_raise():
+    own = np.zeros(3)
+    contribution = SparseContribution(0.5, np.array([7]), np.array([1.0]))
+    with pytest.raises(SimulationError):
+        partial_weighted_average(own, 0.5, [contribution])
+
+
+def test_mismatched_indices_values_raise():
+    with pytest.raises(SimulationError):
+        SparseContribution(0.5, np.array([1, 2]), np.array([1.0]))
+
+
+def test_average_bounded_by_contributing_values():
+    """Every coordinate of the result lies within the convex hull of inputs."""
+
+    rng = np.random.default_rng(0)
+    own = rng.normal(size=20)
+    others = [rng.normal(size=20) for _ in range(3)]
+    contributions = [
+        SparseContribution(0.25, np.arange(20), other) for other in others
+    ]
+    result = partial_weighted_average(own, 0.25, contributions)
+    stacked = np.stack([own] + others)
+    assert np.all(result <= stacked.max(axis=0) + 1e-12)
+    assert np.all(result >= stacked.min(axis=0) - 1e-12)

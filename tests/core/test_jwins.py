@@ -1,0 +1,196 @@
+"""Tests for the JWINS sharing scheme (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import JwinsConfig
+from repro.core.cutoff import CutoffDistribution
+from repro.core.interface import Message, RoundContext
+from repro.core.jwins import JwinsScheme, jwins_factory
+from repro.exceptions import SimulationError
+from repro.wavelets.transform import IdentityTransform, WaveletTransform
+
+MODEL_SIZE = 120
+
+
+def _context(round_index=0, start=None, trained=None, neighbors=(1, 2), rng_seed=0):
+    start = np.zeros(MODEL_SIZE) if start is None else start
+    trained = np.ones(MODEL_SIZE) if trained is None else trained
+    weight = 1.0 / (len(neighbors) + 1)
+    return RoundContext(
+        round_index=round_index,
+        params_start=start,
+        params_trained=trained,
+        self_weight=weight,
+        neighbor_weights={n: weight for n in neighbors},
+        rng=np.random.default_rng(rng_seed),
+    )
+
+
+def _scheme(config=None, node_id=0):
+    return JwinsScheme(node_id, MODEL_SIZE, seed=1, config=config)
+
+
+def test_prepare_produces_sparse_wavelet_message():
+    config = JwinsConfig(cutoff=CutoffDistribution.fixed(0.25), use_random_cutoff=False)
+    scheme = _scheme(config)
+    message = scheme.prepare(_context())
+    indices = message.payload["indices"]
+    values = message.payload["values"]
+    assert message.kind == "jwins-partial-wavelets"
+    assert indices.size == values.size
+    assert indices.size == pytest.approx(0.25 * scheme.ranker.coefficient_size, abs=1)
+    assert message.size.values_bytes > 0
+    assert message.size.metadata_bytes > 0
+
+
+def test_shared_values_are_wavelet_coefficients_of_trained_model():
+    config = JwinsConfig(cutoff=CutoffDistribution.fixed(0.5), use_random_cutoff=False)
+    scheme = _scheme(config)
+    trained = np.random.default_rng(3).normal(size=MODEL_SIZE)
+    context = _context(trained=trained)
+    message = scheme.prepare(context)
+    coefficients = scheme.transform.forward(trained)
+    assert np.allclose(message.payload["values"], coefficients[message.payload["indices"]])
+
+
+def test_alpha_sampled_from_cutoff_distribution():
+    scheme = _scheme(JwinsConfig.paper_default())
+    alphas = set()
+    for round_index in range(30):
+        context = _context(round_index=round_index, rng_seed=round_index)
+        message = scheme.prepare(context)
+        alphas.add(message.payload["alpha"])
+    assert alphas.issubset({0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 1.00})
+    assert len(alphas) >= 3
+
+
+def test_without_random_cutoff_uses_expected_fraction_every_round():
+    config = JwinsConfig.paper_default().without_random_cutoff()
+    scheme = _scheme(config)
+    sizes = set()
+    for round_index in range(5):
+        message = scheme.prepare(_context(round_index=round_index, rng_seed=round_index))
+        sizes.add(message.payload["indices"].size)
+    assert len(sizes) == 1
+
+
+def test_without_wavelet_uses_identity_transform():
+    scheme = _scheme(JwinsConfig.paper_default().without_wavelet())
+    assert isinstance(scheme.transform, IdentityTransform)
+    assert isinstance(_scheme().transform, WaveletTransform)
+
+
+def test_aggregate_without_neighbors_recovers_trained_model():
+    """With no neighbors the round is a no-op up to transform round-trip error."""
+
+    scheme = _scheme(JwinsConfig(cutoff=CutoffDistribution.fixed(0.3), use_random_cutoff=False))
+    trained = np.random.default_rng(1).normal(size=MODEL_SIZE)
+    context = RoundContext(
+        round_index=0,
+        params_start=np.zeros(MODEL_SIZE),
+        params_trained=trained,
+        self_weight=1.0,
+        neighbor_weights={},
+        rng=np.random.default_rng(0),
+    )
+    scheme.prepare(context)
+    new_params = scheme.aggregate(context, [])
+    assert np.allclose(new_params, trained, atol=1e-8)
+
+
+def test_two_identical_nodes_stay_identical():
+    """If both nodes hold the same model, averaging must not change it."""
+
+    config = JwinsConfig(cutoff=CutoffDistribution.fixed(0.4), use_random_cutoff=False)
+    scheme_a = JwinsScheme(0, MODEL_SIZE, seed=1, config=config)
+    scheme_b = JwinsScheme(1, MODEL_SIZE, seed=2, config=config)
+    trained = np.random.default_rng(5).normal(size=MODEL_SIZE)
+    context_a = RoundContext(0, np.zeros(MODEL_SIZE), trained, 0.5, {1: 0.5}, np.random.default_rng(0))
+    context_b = RoundContext(0, np.zeros(MODEL_SIZE), trained, 0.5, {0: 0.5}, np.random.default_rng(1))
+    message_a = scheme_a.prepare(context_a)
+    message_b = scheme_b.prepare(context_b)
+    new_a = scheme_a.aggregate(context_a, [message_b])
+    new_b = scheme_b.aggregate(context_b, [message_a])
+    assert np.allclose(new_a, trained, atol=1e-8)
+    assert np.allclose(new_b, trained, atol=1e-8)
+
+
+def test_full_alpha_exchange_matches_dense_average():
+    """With alpha = 100% on both nodes JWINS reduces to full-sharing averaging."""
+
+    config = JwinsConfig(cutoff=CutoffDistribution.fixed(1.0), use_random_cutoff=False)
+    scheme_a = JwinsScheme(0, MODEL_SIZE, seed=1, config=config)
+    scheme_b = JwinsScheme(1, MODEL_SIZE, seed=2, config=config)
+    rng = np.random.default_rng(7)
+    trained_a = rng.normal(size=MODEL_SIZE)
+    trained_b = rng.normal(size=MODEL_SIZE)
+    context_a = RoundContext(0, np.zeros(MODEL_SIZE), trained_a, 0.5, {1: 0.5}, np.random.default_rng(0))
+    context_b = RoundContext(0, np.zeros(MODEL_SIZE), trained_b, 0.5, {0: 0.5}, np.random.default_rng(1))
+    message_a = scheme_a.prepare(context_a)
+    message_b = scheme_b.prepare(context_b)
+    new_a = scheme_a.aggregate(context_a, [message_b])
+    expected = 0.5 * (trained_a + trained_b)
+    assert np.allclose(new_a, expected, atol=1e-8)
+
+
+def test_accumulator_reset_for_shared_coefficients():
+    config = JwinsConfig(
+        cutoff=CutoffDistribution.fixed(0.25), use_random_cutoff=False, use_wavelet=False
+    )
+    scheme = _scheme(config)
+    trained = np.zeros(MODEL_SIZE)
+    trained[:10] = 5.0  # large change in the first ten coordinates
+    context = _context(trained=trained, neighbors=())
+    context.neighbor_weights = {}
+    context.self_weight = 1.0
+    message = scheme.prepare(context)
+    shared = message.payload["indices"]
+    assert set(range(10)).issubset(set(shared.tolist()))
+    new_params = scheme.aggregate(context, [])
+    scheme.finalize(context, new_params)
+    # Shared coordinates were reset before the end-of-round update, so their
+    # score equals only the whole-round change; they did not double-count.
+    assert np.allclose(scheme.ranker.scores[:10], trained[:10], atol=1e-9)
+
+
+def test_aggregate_before_prepare_raises():
+    scheme = _scheme()
+    with pytest.raises(SimulationError):
+        scheme.aggregate(_context(), [])
+
+
+def test_incompatible_message_kind_raises():
+    scheme = _scheme()
+    context = _context(neighbors=(1,))
+    scheme.prepare(context)
+    alien = Message(sender=1, kind="full-model", payload={"values": np.ones(MODEL_SIZE)})
+    with pytest.raises(SimulationError):
+        scheme.aggregate(context, [alien])
+
+
+def test_message_from_non_neighbor_raises():
+    scheme = _scheme()
+    context = _context(neighbors=(1,))
+    scheme.prepare(context)
+    other = JwinsScheme(9, MODEL_SIZE, seed=3)
+    other_context = _context(neighbors=(0,))
+    foreign = other.prepare(other_context)
+    foreign = Message(sender=9, kind=foreign.kind, payload=foreign.payload, size=foreign.size)
+    with pytest.raises(SimulationError):
+        scheme.aggregate(context, [foreign])
+
+
+def test_factory_builds_independent_schemes():
+    factory = jwins_factory(JwinsConfig.paper_default())
+    scheme_a = factory(0, MODEL_SIZE, 1)
+    scheme_b = factory(1, MODEL_SIZE, 2)
+    assert scheme_a is not scheme_b
+    assert scheme_a.node_id == 0 and scheme_b.node_id == 1
+
+
+def test_metadata_smaller_than_values_with_elias_gamma():
+    config = JwinsConfig(cutoff=CutoffDistribution.fixed(0.3), use_random_cutoff=False)
+    scheme = _scheme(config)
+    message = scheme.prepare(_context(trained=np.random.default_rng(0).normal(size=MODEL_SIZE)))
+    assert message.size.metadata_bytes < message.size.values_bytes

@@ -1,0 +1,105 @@
+"""Tests for non-IID data partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset
+from repro.datasets.partition import (
+    client_partition,
+    iid_partition,
+    partition_dataset,
+    shard_partition,
+)
+from repro.exceptions import DatasetError
+
+
+def _labels(num_samples=200, num_classes=10, seed=0):
+    return np.random.default_rng(seed).integers(0, num_classes, size=num_samples)
+
+
+def test_iid_partition_covers_all_samples():
+    parts = iid_partition(100, 4, np.random.default_rng(0))
+    merged = np.sort(np.concatenate(parts))
+    assert np.array_equal(merged, np.arange(100))
+    assert all(20 <= len(p) <= 30 for p in parts)
+
+
+def test_iid_partition_too_many_nodes_raises():
+    with pytest.raises(DatasetError):
+        iid_partition(3, 4, np.random.default_rng(0))
+
+
+def test_shard_partition_is_a_partition():
+    labels = _labels()
+    parts = shard_partition(labels, 8, np.random.default_rng(1), shards_per_node=2)
+    merged = np.sort(np.concatenate(parts))
+    assert np.array_equal(merged, np.arange(labels.size))
+
+
+def test_shard_partition_limits_classes_per_node():
+    """With 2 shards per node each node sees at most ~4 distinct classes (paper setup)."""
+
+    labels = _labels(num_samples=1000)
+    parts = shard_partition(labels, 10, np.random.default_rng(2), shards_per_node=2)
+    for part in parts:
+        assert np.unique(labels[part]).size <= 4
+
+
+def test_shard_partition_more_shards_more_classes():
+    labels = _labels(num_samples=1000)
+    two = shard_partition(labels, 10, np.random.default_rng(3), shards_per_node=2)
+    four = shard_partition(labels, 10, np.random.default_rng(3), shards_per_node=4)
+    mean_classes_two = np.mean([np.unique(labels[p]).size for p in two])
+    mean_classes_four = np.mean([np.unique(labels[p]).size for p in four])
+    assert mean_classes_four > mean_classes_two
+
+
+def test_shard_partition_too_few_samples_raises():
+    with pytest.raises(DatasetError):
+        shard_partition(_labels(10), 8, np.random.default_rng(0), shards_per_node=2)
+
+
+def test_client_partition_keeps_clients_whole():
+    clients = np.repeat(np.arange(12), 5)
+    parts = client_partition(clients, 4, np.random.default_rng(4))
+    merged = np.sort(np.concatenate(parts))
+    assert np.array_equal(merged, np.arange(clients.size))
+    for part in parts:
+        part_clients = np.unique(clients[part])
+        # Every client in this node must have all of its 5 samples here.
+        assert len(part) == 5 * part_clients.size
+
+
+def test_client_partition_fewer_clients_than_nodes_raises():
+    with pytest.raises(DatasetError):
+        client_partition(np.array([0, 0, 1, 1]), 3, np.random.default_rng(0))
+
+
+def test_partition_dataset_auto_uses_clients_when_available():
+    dataset = Dataset(np.zeros((20, 2)), np.zeros(20, dtype=int), client_ids=np.repeat(np.arange(4), 5))
+    parts = partition_dataset(dataset, 2, np.random.default_rng(0), scheme="auto")
+    assert sum(len(p) for p in parts) == 20
+
+
+def test_partition_dataset_auto_falls_back_to_shards():
+    dataset = Dataset(np.zeros((40, 2)), np.tile(np.arange(4), 10))
+    parts = partition_dataset(dataset, 4, np.random.default_rng(0), scheme="auto")
+    assert sum(len(p) for p in parts) == 40
+
+
+def test_partition_dataset_rejects_unknown_scheme():
+    dataset = Dataset(np.zeros((10, 2)), np.zeros(10, dtype=int))
+    with pytest.raises(DatasetError):
+        partition_dataset(dataset, 2, np.random.default_rng(0), scheme="bogus")
+
+
+def test_partition_dataset_clients_without_ids_raises():
+    dataset = Dataset(np.zeros((10, 2)), np.zeros(10, dtype=int))
+    with pytest.raises(DatasetError):
+        partition_dataset(dataset, 2, np.random.default_rng(0), scheme="clients")
+
+
+def test_partition_dataset_shards_requires_integer_labels():
+    dataset = Dataset(np.zeros((10, 2)), np.zeros(10, dtype=float))
+    with pytest.raises(DatasetError):
+        partition_dataset(dataset, 2, np.random.default_rng(0), scheme="shards")

@@ -1,0 +1,97 @@
+"""Tests for the five paper workload task factories."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    TASK_FACTORIES,
+    make_celeba_task,
+    make_cifar10_task,
+    make_femnist_task,
+    make_movielens_task,
+    make_shakespeare_task,
+)
+
+
+def test_registry_contains_all_five_datasets():
+    assert set(TASK_FACTORIES) == {"cifar10", "femnist", "celeba", "shakespeare", "movielens"}
+
+
+def test_cifar10_task_shapes():
+    task = make_cifar10_task(seed=1, train_samples=64, test_samples=32)
+    assert task.train.inputs.shape == (64, 3, 16, 16)
+    assert task.test.inputs.shape == (32, 3, 16, 16)
+    assert task.train.client_ids is None
+    model = task.make_model(np.random.default_rng(0))
+    outputs = model.forward(task.test.inputs[:4])
+    assert outputs.shape == (4, 10)
+
+
+def test_cifar10_task_deterministic_given_seed():
+    a = make_cifar10_task(seed=5, train_samples=32, test_samples=16)
+    b = make_cifar10_task(seed=5, train_samples=32, test_samples=16)
+    assert np.array_equal(a.train.inputs, b.train.inputs)
+    assert np.array_equal(a.train.targets, b.train.targets)
+
+
+def test_cifar10_train_and_test_share_prototypes():
+    """A model that fits the training set must transfer to the test set."""
+
+    task = make_cifar10_task(seed=2, train_samples=128, test_samples=64, noise=0.3)
+    # Nearest-prototype classification using the train class means.
+    train, test = task.train, task.test
+    means = np.stack(
+        [train.inputs[train.targets == c].mean(axis=0).ravel() for c in range(10)]
+    )
+    distances = ((test.inputs.reshape(len(test), -1)[:, None, :] - means[None]) ** 2).sum(-1)
+    accuracy = float(np.mean(distances.argmin(axis=1) == test.targets))
+    assert accuracy > 0.8
+
+
+def test_femnist_task_has_clients():
+    task = make_femnist_task(seed=1, num_clients=12, samples_per_client=8)
+    assert task.train.client_ids is not None
+    assert task.train.inputs.shape[1:] == (1, 16, 16)
+    assert np.unique(task.train.client_ids).size > 1
+
+
+def test_celeba_task_binary_labels():
+    task = make_celeba_task(seed=1, num_clients=10, samples_per_client=8)
+    assert set(np.unique(task.train.targets)).issubset({0, 1})
+    assert task.train.inputs.shape[1] == 3
+
+
+def test_shakespeare_task_sequences():
+    task = make_shakespeare_task(seed=1, num_clients=8, samples_per_client=6, sequence_length=9)
+    assert task.train.inputs.shape[1] == 9
+    assert task.train.inputs.dtype.kind == "i"
+    model = task.make_model(np.random.default_rng(0))
+    assert model.forward(task.train.inputs[:3]).shape[1] == 20
+
+
+def test_movielens_task_model_and_metric():
+    task = make_movielens_task(seed=1, num_users=10, num_items=12, samples_per_user=6)
+    model = task.make_model(np.random.default_rng(0))
+    predictions = model.forward(task.test.inputs[:5])
+    assert predictions.shape == (5,)
+    accuracy = task.accuracy_fn(predictions, task.test.targets[:5])
+    assert 0.0 <= accuracy <= 1.0
+
+
+@pytest.mark.parametrize("name", sorted(TASK_FACTORIES))
+def test_every_task_is_trainable_one_step(name):
+    """One SGD step on every task must run end to end and produce finite loss."""
+
+    factory = TASK_FACTORIES[name]
+    task = (
+        factory(seed=3, train_samples=32, test_samples=16)
+        if name == "cifar10"
+        else factory(seed=3)
+    )
+    model = task.make_model(np.random.default_rng(0))
+    loss = task.make_loss()
+    inputs, targets = task.train.batch(np.arange(min(8, len(task.train))))
+    model.zero_grad()
+    value = loss.forward(model.forward(inputs), targets)
+    model.backward(loss.backward())
+    assert np.isfinite(value)

@@ -1,0 +1,33 @@
+"""Tests for the Figure 9 metadata-compression experiment."""
+
+import pytest
+
+from repro.core.cutoff import CutoffDistribution
+from repro.evaluation.metadata import metadata_compression_experiment
+
+
+def test_uncompressed_metadata_is_about_half_the_message():
+    comparison = metadata_compression_experiment(model_size=10000, rounds=8, seed=1)
+    # Raw 32-bit indices are as large as the (uncompressed) values, i.e. roughly
+    # half of the message ("approx. 50% of the communication is wasted").
+    assert 0.35 <= comparison.raw_metadata_fraction <= 0.6
+
+
+def test_elias_gamma_compresses_metadata_by_several_times():
+    comparison = metadata_compression_experiment(model_size=10000, rounds=8, seed=1)
+    assert comparison.compression_ratio > 4.0
+    assert comparison.compressed_metadata_bytes < comparison.raw_metadata_bytes
+
+
+def test_fixed_full_cutoff_gives_dense_indices():
+    comparison = metadata_compression_experiment(
+        model_size=2000, rounds=3, cutoff=CutoffDistribution.fixed(1.0), seed=2
+    )
+    # Dense index lists cost ~1 bit per index under Elias gamma: far below raw.
+    assert comparison.compression_ratio > 20.0
+
+
+def test_results_are_deterministic_per_seed():
+    a = metadata_compression_experiment(model_size=3000, rounds=5, seed=7)
+    b = metadata_compression_experiment(model_size=3000, rounds=5, seed=7)
+    assert a == b

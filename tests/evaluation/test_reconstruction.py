@@ -1,0 +1,56 @@
+"""Tests for the Figure 2 reconstruction-error experiment."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.reconstruction import (
+    reconstruction_error_experiment,
+    sparsified_reconstruction,
+)
+from tests.conftest import make_toy_task
+
+
+def test_sparsified_reconstruction_shapes_and_budget():
+    rng = np.random.default_rng(0)
+    parameters = rng.normal(size=200)
+    for method in ("wavelet", "fft", "identity", "random-sampling"):
+        reconstructed = sparsified_reconstruction(parameters, method, 0.2, rng)
+        assert reconstructed.shape == parameters.shape
+
+
+def test_full_budget_reconstruction_is_exact():
+    rng = np.random.default_rng(1)
+    parameters = rng.normal(size=128)
+    for method in ("wavelet", "fft", "identity"):
+        reconstructed = sparsified_reconstruction(parameters, method, 1.0, rng)
+        assert np.allclose(reconstructed, parameters, atol=1e-9)
+
+
+def test_identity_reconstruction_keeps_topk_entries():
+    rng = np.random.default_rng(2)
+    parameters = np.zeros(50)
+    parameters[:5] = 10.0
+    reconstructed = sparsified_reconstruction(parameters, "identity", 0.1, rng)
+    assert np.allclose(reconstructed, parameters)
+
+
+def test_experiment_curves_are_cumulative_and_ordered():
+    task = make_toy_task(train_samples=96, test_samples=32)
+    curves = reconstruction_error_experiment(
+        task, epochs=3, budget=0.1, batch_size=16, seed=2
+    )
+    assert curves.epochs == [1, 2, 3]
+    for series in curves.cumulative_mse.values():
+        assert len(series) == 3
+        assert all(b >= a for a, b in zip(series, series[1:]))
+
+
+def test_wavelet_loses_less_information_than_random_sampling():
+    """The headline claim of Figure 2."""
+
+    task = make_toy_task(train_samples=128, test_samples=32, hidden=24)
+    curves = reconstruction_error_experiment(
+        task, epochs=4, budget=0.1, batch_size=16, seed=3
+    )
+    assert curves.final("wavelet") < curves.final("random-sampling")
+    assert curves.ranking()[0] in {"wavelet", "fft"}

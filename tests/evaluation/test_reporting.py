@@ -1,0 +1,54 @@
+"""Tests for the reporting helpers."""
+
+from repro.evaluation.reporting import format_table, summarize_results, table1_rows
+from repro.simulation.metrics import ExperimentResult, RoundRecord
+
+
+def _result(scheme, accuracy, total_bytes):
+    result = ExperimentResult(scheme=scheme, task="toy", num_nodes=4, rounds_completed=10)
+    result.history.append(
+        RoundRecord(
+            round_index=10,
+            test_accuracy=accuracy,
+            test_loss=1.0 - accuracy,
+            train_loss=0.5,
+            cumulative_bytes_per_node=total_bytes / 4,
+            cumulative_metadata_bytes_per_node=10.0,
+            simulated_time_seconds=12.0,
+            average_shared_fraction=0.4,
+        )
+    )
+    result.total_bytes = total_bytes
+    return result
+
+
+def test_format_table_aligns_columns():
+    text = format_table(["a", "bb"], [["x", "y"], ["longer", "z"]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    assert all(len(line) >= len("longer") for line in lines[1:])
+
+
+def test_table1_rows_computes_savings():
+    results = {
+        "full-sharing": _result("full-sharing", 0.6, 1000.0),
+        "random-sampling": _result("random-sampling", 0.4, 400.0),
+        "jwins": _result("jwins", 0.58, 370.0),
+    }
+    row = table1_rows("cifar10", results, paper_savings_percent=62.2)
+    assert row[0] == "cifar10"
+    assert row[1] == "60.0"
+    assert row[-2] == "63.0%"
+    assert row[-1] == "62.2%"
+
+
+def test_summarize_results_contains_all_schemes():
+    results = {
+        "full-sharing": _result("full-sharing", 0.6, 1000.0),
+        "jwins": _result("jwins", 0.58, 370.0),
+    }
+    text = summarize_results(results)
+    assert "full-sharing" in text
+    assert "jwins" in text
+    assert "final acc" in text

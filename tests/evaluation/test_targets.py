@@ -1,0 +1,67 @@
+"""Tests for run-until-target comparisons (Figure 5 protocol)."""
+
+import pytest
+
+from repro.baselines import full_sharing_factory, random_sampling_factory
+from repro.evaluation.targets import compare_to_target
+from repro.simulation.experiment import ExperimentConfig
+from tests.conftest import make_toy_task
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    task = make_toy_task(train_samples=160, test_samples=64)
+    config = ExperimentConfig(
+        num_nodes=4,
+        degree=2,
+        rounds=10,
+        local_steps=2,
+        batch_size=8,
+        learning_rate=0.2,
+        eval_every=2,
+        eval_test_samples=64,
+        seed=2,
+        partition="shards",
+    )
+    return compare_to_target(
+        task,
+        reference_factory=random_sampling_factory(0.2),
+        reference_name="random-sampling",
+        challenger_factories={"full-sharing": full_sharing_factory()},
+        config=config,
+        target_fraction_of_best=0.9,
+    )
+
+
+def test_target_derived_from_reference_best_accuracy(comparison):
+    reference = comparison.run("random-sampling")
+    assert comparison.target_accuracy == pytest.approx(0.9 * reference.result.best_accuracy)
+    assert reference.reached  # the reference reaches 90% of its own best accuracy
+
+
+def test_all_schemes_present(comparison):
+    assert set(comparison.runs) == {"random-sampling", "full-sharing"}
+
+
+def test_reached_runs_expose_rounds_bytes_and_time(comparison):
+    for run in comparison.runs.values():
+        if run.reached:
+            assert run.rounds_to_target is not None
+            assert run.bytes_per_node_to_target is not None
+            assert run.simulated_seconds_to_target is not None
+
+
+def test_full_sharing_needs_no_more_rounds_than_reference(comparison):
+    """Full sharing converges at least as fast (in rounds) as 20% random sampling."""
+
+    full = comparison.run("full-sharing")
+    reference = comparison.run("random-sampling")
+    assert full.reached
+    assert full.rounds_to_target <= reference.rounds_to_target
+
+
+def test_speedup_computation(comparison):
+    full = comparison.run("full-sharing")
+    reference = comparison.run("random-sampling")
+    speedup = full.speedup_over(reference)
+    assert speedup is None or speedup > 0

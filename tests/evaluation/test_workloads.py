@@ -1,0 +1,45 @@
+"""Tests for the workload registry."""
+
+import pytest
+
+from repro.evaluation.workloads import WORKLOADS, get_workload
+from repro.exceptions import ConfigurationError
+
+
+def test_all_five_paper_workloads_registered():
+    assert set(WORKLOADS) == {"cifar10", "movielens", "shakespeare", "celeba", "femnist"}
+
+
+def test_get_workload_case_insensitive():
+    assert get_workload("CIFAR10").name == "cifar10"
+
+
+def test_get_workload_unknown_raises():
+    with pytest.raises(ConfigurationError):
+        get_workload("imagenet")
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workload_tasks_are_buildable(name):
+    workload = get_workload(name)
+    task = workload.make_task(seed=1)
+    assert len(task.train) > 0
+    assert len(task.test) > 0
+    assert task.model_size > 0
+    assert workload.config.num_nodes >= 2
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_paper_reference_numbers_are_consistent(name):
+    """Sanity-check the transcription of Table I: JWINS saves 60%+ of the bytes."""
+
+    paper = get_workload(name).paper
+    implied_savings = 100.0 * (1.0 - paper.jwins_gib / paper.full_sharing_gib)
+    assert implied_savings == pytest.approx(paper.network_savings_percent, abs=1.0)
+    assert paper.jwins_accuracy >= paper.random_sampling_accuracy
+
+
+def test_cifar_uses_shard_partitioning_and_others_use_clients():
+    assert get_workload("cifar10").config.partition == "shards"
+    for name in ("femnist", "celeba", "shakespeare", "movielens"):
+        assert get_workload(name).config.partition == "clients"

@@ -1,0 +1,105 @@
+"""End-to-end integration tests: whole experiments through the public API."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    choco_factory,
+    full_sharing_factory,
+    random_sampling_factory,
+    topk_sharing_factory,
+)
+from repro.core import JwinsConfig, jwins_factory
+from repro.simulation import ExperimentConfig, run_experiment
+from tests.conftest import make_toy_task
+
+
+@pytest.fixture(scope="module")
+def task():
+    return make_toy_task(seed=11, train_samples=240, test_samples=96, num_classes=4)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(
+        num_nodes=6,
+        degree=2,
+        rounds=15,
+        local_steps=2,
+        batch_size=8,
+        learning_rate=0.2,
+        eval_every=3,
+        eval_test_samples=96,
+        seed=4,
+        partition="shards",
+    )
+
+
+@pytest.fixture(scope="module")
+def results(task, config):
+    factories = {
+        "full-sharing": full_sharing_factory(),
+        "random-sampling": random_sampling_factory(0.34),
+        "jwins": jwins_factory(JwinsConfig.paper_default()),
+        "choco": choco_factory(fraction=0.2, gamma=0.6),
+        "topk": topk_sharing_factory(0.34),
+    }
+    return {
+        name: run_experiment(task, factory, config, scheme_name=name)
+        for name, factory in factories.items()
+    }
+
+
+def test_every_scheme_learns_something(results):
+    for name, result in results.items():
+        assert result.final_accuracy > 0.3, name
+        assert np.isfinite(result.final_loss), name
+
+
+def test_full_sharing_reaches_good_accuracy(results):
+    assert results["full-sharing"].final_accuracy > 0.6
+
+
+def test_jwins_close_to_full_sharing(results):
+    """Table I claim: JWINS is within a few points of full sharing."""
+
+    gap = results["full-sharing"].final_accuracy - results["jwins"].final_accuracy
+    assert gap < 0.15
+
+
+def test_jwins_beats_or_matches_random_sampling(results):
+    assert results["jwins"].final_accuracy >= results["random-sampling"].final_accuracy - 0.05
+
+
+def test_sparse_schemes_save_bytes(results):
+    full_bytes = results["full-sharing"].total_bytes
+    for name in ("jwins", "random-sampling", "choco"):
+        assert results[name].total_bytes < full_bytes, name
+
+
+def test_jwins_network_savings_match_budget(results):
+    """With the default alpha list JWINS sends roughly 35-50% of full sharing."""
+
+    ratio = results["jwins"].total_bytes / results["full-sharing"].total_bytes
+    assert 0.2 < ratio < 0.7
+
+
+def test_metadata_accounted_only_for_sparse_schemes(results):
+    assert results["full-sharing"].total_metadata_bytes == 0
+    assert results["jwins"].total_metadata_bytes > 0
+    assert results["choco"].total_metadata_bytes > 0
+
+
+def test_simulated_time_increases_with_bytes(results):
+    assert (
+        results["full-sharing"].simulated_time_seconds
+        > results["random-sampling"].simulated_time_seconds
+    )
+
+
+def test_histories_are_monotone_in_rounds(results):
+    for result in results.values():
+        rounds = [record.round_index for record in result.history]
+        assert rounds == sorted(rounds)
+        sent = [record.cumulative_bytes_per_node for record in result.history]
+        assert all(b >= a for a, b in zip(sent, sent[1:]))

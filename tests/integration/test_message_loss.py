@@ -1,0 +1,90 @@
+"""Integration tests for the lossy-network / churn model.
+
+The paper argues that JWINS, unlike CHOCO, keeps no per-neighbor replicas and
+is therefore "flexible to nodes leaving and joining".  The simulator models
+this with a per-delivery message drop probability; these tests check that the
+round loop keeps running and that full sharing and JWINS still learn when a
+fifth of the messages never arrive.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.baselines import choco_factory, full_sharing_factory
+from repro.core import JwinsConfig, jwins_factory
+from repro.exceptions import ConfigurationError
+from repro.simulation import ExperimentConfig, run_experiment
+from tests.conftest import make_toy_task
+
+
+@pytest.fixture(scope="module")
+def task():
+    return make_toy_task(seed=41, train_samples=200, test_samples=80)
+
+
+@pytest.fixture(scope="module")
+def lossy_config():
+    return ExperimentConfig(
+        num_nodes=6,
+        degree=2,
+        rounds=10,
+        local_steps=2,
+        batch_size=8,
+        learning_rate=0.2,
+        eval_every=5,
+        eval_test_samples=80,
+        seed=13,
+        partition="shards",
+        message_drop_probability=0.2,
+    )
+
+
+def test_invalid_drop_probability_rejected():
+    with pytest.raises(ConfigurationError):
+        ExperimentConfig(message_drop_probability=1.0)
+    with pytest.raises(ConfigurationError):
+        ExperimentConfig(message_drop_probability=-0.1)
+
+
+def test_full_sharing_learns_despite_drops(task, lossy_config):
+    result = run_experiment(task, full_sharing_factory(), lossy_config)
+    assert result.rounds_completed == lossy_config.rounds
+    assert result.final_accuracy > 0.5
+
+
+def test_jwins_learns_despite_drops(task, lossy_config):
+    result = run_experiment(task, jwins_factory(JwinsConfig.paper_default()), lossy_config)
+    assert result.rounds_completed == lossy_config.rounds
+    assert result.final_accuracy > 0.4
+
+
+def test_choco_round_loop_survives_drops(task, lossy_config):
+    """CHOCO's quality may degrade under loss, but the system must not crash."""
+
+    result = run_experiment(task, choco_factory(0.2, 0.6), lossy_config)
+    assert result.rounds_completed == lossy_config.rounds
+
+
+def test_drops_do_not_change_metered_bytes(task, lossy_config):
+    """Bytes are metered at the sender, so the uplink cost is loss-independent.
+
+    The payloads themselves differ slightly (the models diverge once messages
+    are lost, and the float codec's compressed size depends on the values), so
+    the comparison allows a small relative tolerance.
+    """
+
+    lossless = replace(lossy_config, message_drop_probability=0.0)
+    lossy = run_experiment(task, full_sharing_factory(), lossy_config)
+    clean = run_experiment(task, full_sharing_factory(), lossless)
+    assert lossy.total_bytes == pytest.approx(clean.total_bytes, rel=0.05)
+
+
+def test_heavy_loss_degrades_learning(task, lossy_config):
+    """With almost every message dropped, mixing slows down or stalls."""
+
+    heavy = replace(lossy_config, message_drop_probability=0.95, rounds=8)
+    light = replace(lossy_config, message_drop_probability=0.0, rounds=8)
+    degraded = run_experiment(task, full_sharing_factory(), heavy)
+    healthy = run_experiment(task, full_sharing_factory(), light)
+    assert degraded.final_accuracy <= healthy.final_accuracy + 0.05

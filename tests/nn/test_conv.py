@@ -1,0 +1,82 @@
+"""Tests for convolution and pooling layers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.nn.conv import Conv2d, MaxPool2d
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_conv_output_shape(rng):
+    layer = Conv2d(3, 8, kernel_size=3, rng=rng, padding=1)
+    outputs = layer.forward(rng.normal(size=(2, 3, 8, 8)))
+    assert outputs.shape == (2, 8, 8, 8)
+
+
+def test_conv_output_shape_no_padding_stride(rng):
+    layer = Conv2d(1, 2, kernel_size=3, rng=rng, stride=2)
+    outputs = layer.forward(rng.normal(size=(1, 1, 9, 9)))
+    assert outputs.shape == (1, 2, 4, 4)
+
+
+def test_conv_matches_manual_computation(rng):
+    layer = Conv2d(1, 1, kernel_size=2, rng=rng, bias=False)
+    layer.weight.value[...] = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+    inputs = np.arange(9.0).reshape(1, 1, 3, 3)
+    outputs = layer.forward(inputs)
+    # Top-left window [[0,1],[3,4]] -> 0*1 + 1*2 + 3*3 + 4*4 = 27.
+    assert outputs[0, 0, 0, 0] == pytest.approx(27.0)
+    assert outputs.shape == (1, 1, 2, 2)
+
+
+def test_conv_backward_shapes(rng):
+    layer = Conv2d(2, 4, kernel_size=3, rng=rng, padding=1)
+    inputs = rng.normal(size=(3, 2, 6, 6))
+    outputs = layer.forward(inputs)
+    grad_in = layer.backward(np.ones_like(outputs))
+    assert grad_in.shape == inputs.shape
+    assert layer.weight.grad.shape == layer.weight.value.shape
+    assert layer.bias.grad.shape == (4,)
+
+
+def test_conv_rejects_wrong_channel_count(rng):
+    layer = Conv2d(3, 4, kernel_size=3, rng=rng)
+    with pytest.raises(ModelError):
+        layer.forward(np.zeros((1, 2, 8, 8)))
+
+
+def test_conv_rejects_empty_output(rng):
+    layer = Conv2d(1, 1, kernel_size=5, rng=rng)
+    with pytest.raises(ModelError):
+        layer.forward(np.zeros((1, 1, 3, 3)))
+
+
+def test_maxpool_selects_window_maximum():
+    layer = MaxPool2d(2)
+    inputs = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+    assert layer.forward(inputs)[0, 0, 0, 0] == 4.0
+
+
+def test_maxpool_backward_routes_gradient_to_argmax():
+    layer = MaxPool2d(2)
+    inputs = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+    layer.forward(inputs)
+    grad = layer.backward(np.array([[[[5.0]]]]))
+    expected = np.array([[[[0.0, 0.0], [0.0, 5.0]]]])
+    assert np.array_equal(grad, expected)
+
+
+def test_maxpool_rejects_non_divisible_input():
+    with pytest.raises(ModelError):
+        MaxPool2d(2).forward(np.zeros((1, 1, 3, 4)))
+
+
+def test_maxpool_preserves_batch_and_channels(rng):
+    layer = MaxPool2d(2)
+    outputs = layer.forward(rng.normal(size=(5, 7, 8, 8)))
+    assert outputs.shape == (5, 7, 4, 4)

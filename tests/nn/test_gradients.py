@@ -1,0 +1,106 @@
+"""Numerical gradient checks for every model architecture.
+
+These are the strongest correctness tests of the NN substrate: the analytic
+backward pass of each model is compared against central finite differences of
+the loss with respect to every parameter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.models import CharLSTM, ConvClassifier, MatrixFactorization, MLPClassifier
+from repro.nn.module import get_flat_gradients, get_flat_parameters, set_flat_parameters
+
+
+def _numerical_gradient(model, loss, inputs, targets, epsilon=1e-6):
+    base = get_flat_parameters(model)
+    grad = np.zeros_like(base)
+    for index in range(base.size):
+        perturbed = base.copy()
+        perturbed[index] += epsilon
+        set_flat_parameters(model, perturbed)
+        plus = loss.forward(model.forward(inputs), targets)
+        perturbed[index] -= 2 * epsilon
+        set_flat_parameters(model, perturbed)
+        minus = loss.forward(model.forward(inputs), targets)
+        grad[index] = (plus - minus) / (2 * epsilon)
+    set_flat_parameters(model, base)
+    return grad
+
+
+def _analytic_gradient(model, loss, inputs, targets):
+    model.zero_grad()
+    loss.forward(model.forward(inputs), targets)
+    model.backward(loss.backward())
+    return get_flat_gradients(model)
+
+
+def _relative_error(analytic, numeric):
+    scale = max(1e-8, float(np.max(np.abs(numeric))))
+    return float(np.max(np.abs(analytic - numeric))) / scale
+
+
+def test_mlp_gradients_match():
+    rng = np.random.default_rng(0)
+    model = MLPClassifier(6, 5, 3, rng)
+    loss = CrossEntropyLoss()
+    inputs = rng.normal(size=(3, 6))
+    targets = rng.integers(0, 3, size=3)
+    error = _relative_error(
+        _analytic_gradient(model, loss, inputs, targets),
+        _numerical_gradient(model, loss, inputs, targets),
+    )
+    assert error < 1e-6
+
+
+def test_conv_classifier_gradients_match():
+    rng = np.random.default_rng(1)
+    model = ConvClassifier(2, 8, 3, rng, channels=(2, 3), hidden=5)
+    loss = CrossEntropyLoss()
+    inputs = rng.normal(size=(2, 2, 8, 8))
+    targets = rng.integers(0, 3, size=2)
+    error = _relative_error(
+        _analytic_gradient(model, loss, inputs, targets),
+        _numerical_gradient(model, loss, inputs, targets),
+    )
+    assert error < 1e-5
+
+
+def test_char_lstm_gradients_match():
+    rng = np.random.default_rng(2)
+    model = CharLSTM(5, rng, embedding_dim=3, hidden_size=4, num_layers=2)
+    loss = CrossEntropyLoss()
+    inputs = rng.integers(0, 5, size=(2, 4))
+    targets = rng.integers(0, 5, size=2)
+    error = _relative_error(
+        _analytic_gradient(model, loss, inputs, targets),
+        _numerical_gradient(model, loss, inputs, targets),
+    )
+    assert error < 1e-5
+
+
+def test_matrix_factorization_gradients_match():
+    rng = np.random.default_rng(3)
+    model = MatrixFactorization(4, 5, rng, embedding_dim=3)
+    loss = MSELoss()
+    pairs = np.stack([rng.integers(0, 4, size=6), rng.integers(0, 5, size=6)], axis=1)
+    ratings = rng.normal(size=6)
+    error = _relative_error(
+        _analytic_gradient(model, loss, pairs, ratings),
+        _numerical_gradient(model, loss, pairs, ratings),
+    )
+    assert error < 1e-6
+
+
+@pytest.mark.parametrize("batch", [1, 4])
+def test_gradients_scale_with_batch_size(batch):
+    """Cross-entropy averages over the batch, so gradients stay O(1) in batch size."""
+
+    rng = np.random.default_rng(4)
+    model = MLPClassifier(4, 4, 2, rng)
+    loss = CrossEntropyLoss()
+    inputs = rng.normal(size=(batch, 4))
+    targets = rng.integers(0, 2, size=batch)
+    grad = _analytic_gradient(model, loss, inputs, targets)
+    assert np.max(np.abs(grad)) < 10.0

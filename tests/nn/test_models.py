@@ -1,0 +1,120 @@
+"""Tests for the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.models import (
+    CelebACNN,
+    CharLSTM,
+    FEMNISTCNN,
+    GNLeNet,
+    MatrixFactorization,
+    MLPClassifier,
+)
+from repro.nn.module import get_flat_parameters, set_flat_parameters
+from repro.nn.optim import SGD
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_gnlenet_forward_shape(rng):
+    model = GNLeNet(rng, image_size=16, num_classes=10)
+    outputs = model.forward(rng.normal(size=(2, 3, 16, 16)))
+    assert outputs.shape == (2, 10)
+
+
+def test_femnist_cnn_single_channel(rng):
+    model = FEMNISTCNN(rng, image_size=16, num_classes=10)
+    assert model.forward(rng.normal(size=(3, 1, 16, 16))).shape == (3, 10)
+
+
+def test_celeba_cnn_binary_output(rng):
+    model = CelebACNN(rng, image_size=16)
+    assert model.forward(rng.normal(size=(2, 3, 16, 16))).shape == (2, 2)
+
+
+def test_conv_classifier_rejects_bad_image_size(rng):
+    with pytest.raises(ModelError):
+        GNLeNet(rng, image_size=10)
+
+
+def test_char_lstm_forward_shape(rng):
+    model = CharLSTM(vocab_size=12, rng=rng, embedding_dim=4, hidden_size=6, num_layers=2)
+    ids = rng.integers(0, 12, size=(5, 8))
+    assert model.forward(ids).shape == (5, 12)
+
+
+def test_char_lstm_rejects_one_dimensional_input(rng):
+    model = CharLSTM(vocab_size=5, rng=rng)
+    with pytest.raises(ModelError):
+        model.forward(np.array([1, 2, 3]))
+
+
+def test_matrix_factorization_prediction_shape(rng):
+    model = MatrixFactorization(6, 9, rng, embedding_dim=4)
+    pairs = np.array([[0, 1], [5, 8], [2, 2]])
+    assert model.forward(pairs).shape == (3,)
+
+
+def test_matrix_factorization_rejects_bad_input(rng):
+    model = MatrixFactorization(6, 9, rng)
+    with pytest.raises(ModelError):
+        model.forward(np.array([1, 2, 3]))
+
+
+def test_backward_accumulates_gradients_in_every_parameter(rng):
+    model = GNLeNet(rng, image_size=8, num_classes=4)
+    loss = CrossEntropyLoss()
+    inputs = rng.normal(size=(4, 3, 8, 8))
+    targets = rng.integers(0, 4, size=4)
+    loss.forward(model.forward(inputs), targets)
+    model.backward(loss.backward())
+    grads = [np.abs(p.grad).sum() for p in model.parameters()]
+    assert all(g > 0 for g in grads)
+
+
+def test_model_parameters_roundtrip_flat_vector(rng):
+    model = CharLSTM(vocab_size=8, rng=rng, embedding_dim=3, hidden_size=4)
+    vector = np.random.default_rng(1).normal(size=model.num_parameters)
+    set_flat_parameters(model, vector)
+    assert np.allclose(get_flat_parameters(model), vector)
+
+
+def test_mlp_learns_separable_problem(rng):
+    """A small end-to-end training loop must reduce the loss substantially."""
+
+    model = MLPClassifier(4, 16, 2, rng)
+    loss = CrossEntropyLoss()
+    optimizer = SGD(model.parameters(), lr=0.2)
+    data_rng = np.random.default_rng(7)
+    inputs = data_rng.normal(size=(64, 4))
+    targets = (inputs[:, 0] + inputs[:, 1] > 0).astype(np.int64)
+
+    first_loss = None
+    for _ in range(150):
+        model.zero_grad()
+        value = loss.forward(model.forward(inputs), targets)
+        if first_loss is None:
+            first_loss = value
+        model.backward(loss.backward())
+        optimizer.step()
+    assert value < first_loss * 0.3
+
+
+def test_matrix_factorization_learns_ratings(rng):
+    model = MatrixFactorization(5, 5, rng, embedding_dim=3)
+    loss = MSELoss()
+    optimizer = SGD(model.parameters(), lr=0.1)
+    pairs = np.array([[u, i] for u in range(5) for i in range(5)])
+    ratings = np.array([(u + i) % 5 + 1.0 for u in range(5) for i in range(5)])
+    for _ in range(300):
+        model.zero_grad()
+        value = loss.forward(model.forward(pairs), ratings)
+        model.backward(loss.backward())
+        optimizer.step()
+    assert value < 0.5

@@ -1,0 +1,59 @@
+"""Tests for the SGD optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD
+
+
+def test_plain_sgd_step():
+    parameter = Parameter(np.array([1.0, 2.0]))
+    parameter.grad[:] = [0.5, -0.5]
+    SGD([parameter], lr=0.1).step()
+    assert np.allclose(parameter.value, [0.95, 2.05])
+
+
+def test_momentum_accumulates_velocity():
+    parameter = Parameter(np.array([0.0]))
+    optimizer = SGD([parameter], lr=1.0, momentum=0.9)
+    parameter.grad[:] = [1.0]
+    optimizer.step()
+    first = parameter.value.copy()
+    parameter.grad[:] = [1.0]
+    optimizer.step()
+    second_step = first - parameter.value
+    # The second step is larger than the first because of the velocity term.
+    assert second_step > 1.0
+    assert first == pytest.approx(-1.0)
+
+
+def test_weight_decay_shrinks_weights():
+    parameter = Parameter(np.array([10.0]))
+    parameter.grad[:] = [0.0]
+    SGD([parameter], lr=0.1, weight_decay=0.5).step()
+    assert parameter.value[0] == pytest.approx(10.0 - 0.1 * 0.5 * 10.0)
+
+
+def test_zero_grad_clears_gradients():
+    parameter = Parameter(np.array([1.0]))
+    parameter.grad[:] = [3.0]
+    optimizer = SGD([parameter], lr=0.1)
+    optimizer.zero_grad()
+    assert parameter.grad[0] == 0.0
+
+
+def test_minimizes_quadratic():
+    parameter = Parameter(np.array([5.0]))
+    optimizer = SGD([parameter], lr=0.1)
+    for _ in range(200):
+        parameter.grad[:] = 2.0 * parameter.value
+        optimizer.step()
+    assert abs(parameter.value[0]) < 1e-6
+
+
+@pytest.mark.parametrize("kwargs", [{"lr": 0.0}, {"lr": 0.1, "momentum": 1.0}, {"lr": 0.1, "weight_decay": -1.0}])
+def test_invalid_hyperparameters_raise(kwargs):
+    with pytest.raises(ModelError):
+        SGD([Parameter(np.zeros(1))], **kwargs)

@@ -1,0 +1,92 @@
+"""Tests for the LSTM layers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.nn.rnn import LSTM, LSTMLayer
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_lstm_layer_output_shape(rng):
+    layer = LSTMLayer(5, 7, rng)
+    outputs = layer.forward(rng.normal(size=(3, 6, 5)))
+    assert outputs.shape == (3, 6, 7)
+
+
+def test_lstm_layer_backward_shapes(rng):
+    layer = LSTMLayer(4, 3, rng)
+    inputs = rng.normal(size=(2, 5, 4))
+    outputs = layer.forward(inputs)
+    grad_in = layer.backward(np.ones_like(outputs))
+    assert grad_in.shape == inputs.shape
+    assert layer.weight_ih.grad.shape == (12, 4)
+    assert layer.weight_hh.grad.shape == (12, 3)
+    assert layer.bias.grad.shape == (12,)
+
+
+def test_lstm_outputs_bounded_by_tanh(rng):
+    layer = LSTMLayer(3, 4, rng)
+    outputs = layer.forward(rng.normal(size=(2, 10, 3)) * 10)
+    assert np.all(np.abs(outputs) <= 1.0)
+
+
+def test_lstm_hidden_state_evolves_over_time(rng):
+    layer = LSTMLayer(2, 3, rng)
+    constant_input = np.ones((1, 6, 2))
+    outputs = layer.forward(constant_input)
+    # With constant inputs, successive hidden states still differ (state builds up).
+    assert not np.allclose(outputs[0, 0], outputs[0, -1])
+
+
+def test_stacked_lstm_shapes(rng):
+    model = LSTM(4, 6, num_layers=3, rng=rng)
+    inputs = rng.normal(size=(2, 5, 4))
+    outputs = model.forward(inputs)
+    assert outputs.shape == (2, 5, 6)
+    assert model.backward(np.ones_like(outputs)).shape == inputs.shape
+    assert len(model.layers) == 3
+
+
+def test_lstm_rejects_wrong_feature_dimension(rng):
+    layer = LSTMLayer(4, 3, rng)
+    with pytest.raises(ModelError):
+        layer.forward(np.zeros((2, 5, 6)))
+
+
+def test_lstm_rejects_invalid_dimensions(rng):
+    with pytest.raises(ModelError):
+        LSTMLayer(0, 3, rng)
+    with pytest.raises(ModelError):
+        LSTM(3, 3, num_layers=0, rng=rng)
+
+
+def test_lstm_gradient_matches_numerical(rng):
+    """Finite-difference check of the full BPTT on a tiny layer."""
+
+    layer = LSTMLayer(2, 2, rng)
+    inputs = rng.normal(size=(1, 3, 2))
+
+    def loss_value() -> float:
+        return float(np.sum(layer.forward(inputs) ** 2))
+
+    loss_value()
+    grad_outputs = 2.0 * layer.forward(inputs)
+    layer.backward(grad_outputs)
+    analytic = layer.weight_ih.grad.copy()
+
+    numeric = np.zeros_like(analytic)
+    epsilon = 1e-6
+    for i in range(analytic.shape[0]):
+        for j in range(analytic.shape[1]):
+            layer.weight_ih.value[i, j] += epsilon
+            plus = loss_value()
+            layer.weight_ih.value[i, j] -= 2 * epsilon
+            minus = loss_value()
+            layer.weight_ih.value[i, j] += epsilon
+            numeric[i, j] = (plus - minus) / (2 * epsilon)
+    assert np.allclose(analytic, numeric, atol=1e-5)

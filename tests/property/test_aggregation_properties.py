@@ -1,0 +1,69 @@
+"""Property-based tests for sparse aggregation and sparsification invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import SparseContribution, partial_weighted_average
+from repro.sparsification.topk import topk_indices
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    size=st.integers(min_value=2, max_value=200),
+    neighbors=st.integers(min_value=0, max_value=5),
+)
+def test_partial_average_stays_in_convex_hull(seed, size, neighbors):
+    rng = np.random.default_rng(seed)
+    own = rng.normal(size=size)
+    weight = 1.0 / (neighbors + 1)
+    vectors = [rng.normal(size=size) for _ in range(neighbors)]
+    contributions = []
+    for vector in vectors:
+        count = rng.integers(1, size + 1)
+        indices = np.sort(rng.choice(size, size=count, replace=False))
+        contributions.append(SparseContribution(weight, indices, vector[indices]))
+    result = partial_weighted_average(own, weight, contributions)
+    stacked = np.stack([own] + vectors) if vectors else own[None]
+    assert np.all(result <= stacked.max(axis=0) + 1e-9)
+    assert np.all(result >= stacked.min(axis=0) - 1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    size=st.integers(min_value=2, max_value=200),
+    neighbors=st.integers(min_value=1, max_value=5),
+)
+def test_identical_models_are_a_fixed_point(seed, size, neighbors):
+    """If every node already holds the same vector, sparse averaging keeps it."""
+
+    rng = np.random.default_rng(seed)
+    shared = rng.normal(size=size)
+    weight = 1.0 / (neighbors + 1)
+    contributions = []
+    for _ in range(neighbors):
+        count = rng.integers(1, size + 1)
+        indices = np.sort(rng.choice(size, size=count, replace=False))
+        contributions.append(SparseContribution(weight, indices, shared[indices]))
+    result = partial_weighted_average(shared, weight, contributions)
+    assert np.allclose(result, shared, atol=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    size=st.integers(min_value=1, max_value=500),
+    count=st.integers(min_value=1, max_value=500),
+)
+def test_topk_invariants(seed, size, count):
+    scores = np.random.default_rng(seed).normal(size=size)
+    indices = topk_indices(scores, count)
+    assert indices.size == min(count, size)
+    assert np.unique(indices).size == indices.size
+    assert np.all(np.diff(indices) > 0) or indices.size <= 1
+    if indices.size < size:
+        selected = np.abs(scores[indices])
+        rejected = np.abs(np.delete(scores, indices))
+        assert selected.min() >= rejected.max() - 1e-12

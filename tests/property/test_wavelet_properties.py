@@ -1,0 +1,67 @@
+"""Property-based tests (hypothesis) for the wavelet substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.wavelets.dwt import wavedec, waverec
+from repro.wavelets.transform import WaveletTransform
+
+WAVELETS = st.sampled_from(["haar", "db2", "sym2", "db3", "db4", "sym4"])
+
+signals = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=16, max_value=300),
+    elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(signal=signals, wavelet=WAVELETS, levels=st.integers(min_value=0, max_value=5))
+def test_wavedec_waverec_roundtrip(signal, wavelet, levels):
+    """Perfect reconstruction for any signal, wavelet family and level count."""
+
+    reconstructed = waverec(wavedec(signal, wavelet, levels))
+    scale = max(1.0, float(np.max(np.abs(signal))))
+    assert np.allclose(reconstructed, signal, atol=1e-8 * scale)
+
+
+@settings(max_examples=30, deadline=None)
+@given(signal=signals, wavelet=WAVELETS)
+def test_energy_preservation_even_lengths(signal, wavelet):
+    """Parseval: the orthogonal DWT preserves the L2 norm (even-length signals)."""
+
+    if signal.size % 2 == 1:
+        signal = signal[:-1]
+    coefficients = wavedec(signal, wavelet, levels=3)
+    energy = sum(float(np.sum(band**2)) for band in coefficients.arrays)
+    assert np.isclose(energy, float(np.sum(signal**2)), rtol=1e-8, atol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    size=st.integers(min_value=20, max_value=200),
+    seed=st.integers(min_value=0, max_value=2**16),
+    scale=st.floats(min_value=1e-3, max_value=1e3),
+)
+def test_transform_linearity(size, seed, scale):
+    """forward(a*x + y) == a*forward(x) + forward(y)."""
+
+    rng = np.random.default_rng(seed)
+    transform = WaveletTransform(size)
+    x = rng.normal(size=size)
+    y = rng.normal(size=size)
+    lhs = transform.forward(scale * x + y)
+    rhs = scale * transform.forward(x) + transform.forward(y)
+    assert np.allclose(lhs, rhs, rtol=1e-9, atol=1e-9 * scale)
+
+
+@settings(max_examples=30, deadline=None)
+@given(signal=signals)
+def test_keeping_all_coefficients_is_lossless_sparsification(signal):
+    """Sparsifying with a 100% budget must reproduce the model exactly."""
+
+    transform = WaveletTransform(signal.size)
+    coefficients = transform.forward(signal)
+    assert np.allclose(transform.inverse(coefficients), signal, atol=1e-8)

@@ -1,0 +1,46 @@
+"""Tests for the experiment configuration."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.experiment import ExperimentConfig
+
+
+def test_defaults_are_valid():
+    config = ExperimentConfig()
+    assert config.num_nodes == 16
+    assert config.degree == 4
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"num_nodes": 1},
+        {"degree": 0},
+        {"degree": 16, "num_nodes": 16},
+        {"rounds": 0},
+        {"local_steps": 0},
+        {"batch_size": 0},
+        {"learning_rate": 0.0},
+        {"eval_every": 0},
+        {"partition": "bogus"},
+        {"stop_at_target": True},
+    ],
+)
+def test_invalid_configurations_raise(kwargs):
+    with pytest.raises(ConfigurationError):
+        ExperimentConfig(**kwargs)
+
+
+def test_with_rounds_and_seed_return_copies():
+    config = ExperimentConfig(rounds=10, seed=1)
+    more_rounds = config.with_rounds(50)
+    other_seed = config.with_seed(9)
+    assert more_rounds.rounds == 50 and config.rounds == 10
+    assert other_seed.seed == 9 and config.seed == 1
+
+
+def test_with_target_enables_stop():
+    config = ExperimentConfig().with_target(0.8)
+    assert config.target_accuracy == 0.8
+    assert config.stop_at_target

@@ -1,0 +1,55 @@
+"""Tests for random-sampling sparsification."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sparsification.random_sampling import RandomSamplingSparsifier
+
+
+def test_selection_size_and_range():
+    sparsifier = RandomSamplingSparsifier(seed=1)
+    indices = sparsifier.select(np.zeros(100), 25)
+    assert indices.size == 25
+    assert indices.min() >= 0 and indices.max() < 100
+    assert np.unique(indices).size == 25
+
+
+def test_selection_changes_across_rounds():
+    sparsifier = RandomSamplingSparsifier(seed=1)
+    first = sparsifier.select(np.zeros(1000), 100)
+    second = sparsifier.select(np.zeros(1000), 100)
+    assert not np.array_equal(first, second)
+
+
+def test_selection_reproducible_for_same_seed():
+    a = RandomSamplingSparsifier(seed=9).select(np.zeros(500), 50)
+    b = RandomSamplingSparsifier(seed=9).select(np.zeros(500), 50)
+    assert np.array_equal(a, b)
+
+
+def test_selection_independent_of_scores():
+    sparsifier_a = RandomSamplingSparsifier(seed=3)
+    sparsifier_b = RandomSamplingSparsifier(seed=3)
+    a = sparsifier_a.select(np.zeros(200), 20)
+    b = sparsifier_b.select(np.random.default_rng(0).normal(size=200), 20)
+    assert np.array_equal(a, b)
+
+
+def test_count_clamped_to_size():
+    sparsifier = RandomSamplingSparsifier(seed=2)
+    indices = sparsifier.select(np.zeros(10), 50)
+    assert indices.size == 10
+
+
+def test_invalid_count_raises():
+    with pytest.raises(ConfigurationError):
+        RandomSamplingSparsifier(seed=1).select(np.zeros(10), 0)
+
+
+def test_last_seed_reflects_previous_selection():
+    sparsifier = RandomSamplingSparsifier(seed=5)
+    with pytest.raises(ConfigurationError):
+        sparsifier.last_seed()
+    sparsifier.select(np.zeros(10), 2)
+    assert sparsifier.last_seed() == sparsifier.current_seed - 1

@@ -1,0 +1,58 @@
+"""Tests for TopK sparsification."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sparsification.base import fraction_to_count
+from repro.sparsification.topk import TopKSparsifier, topk_indices
+
+
+def test_topk_selects_largest_magnitudes():
+    scores = np.array([0.1, -5.0, 2.0, 0.0, -3.0])
+    indices = topk_indices(scores, 2)
+    assert np.array_equal(indices, [1, 4])
+
+
+def test_topk_indices_sorted():
+    scores = np.random.default_rng(0).normal(size=100)
+    indices = topk_indices(scores, 17)
+    assert np.all(np.diff(indices) > 0)
+    assert indices.size == 17
+
+
+def test_topk_count_larger_than_size_returns_all():
+    indices = topk_indices(np.arange(5.0), 10)
+    assert np.array_equal(indices, np.arange(5))
+
+
+def test_topk_count_zero_raises():
+    with pytest.raises(ConfigurationError):
+        topk_indices(np.arange(5.0), 0)
+
+
+def test_topk_threshold_property():
+    """Every selected score is at least as large as every rejected score."""
+
+    scores = np.random.default_rng(1).normal(size=500)
+    indices = topk_indices(scores, 50)
+    selected = np.abs(scores[indices])
+    rejected = np.abs(np.delete(scores, indices))
+    assert selected.min() >= rejected.max() - 1e-12
+
+
+def test_sparsifier_select_fraction():
+    sparsifier = TopKSparsifier()
+    scores = np.random.default_rng(2).normal(size=200)
+    indices = sparsifier.select_fraction(scores, 0.25)
+    assert indices.size == 50
+
+
+def test_fraction_to_count_bounds():
+    assert fraction_to_count(0.1, 100) == 10
+    assert fraction_to_count(1.0, 7) == 7
+    assert fraction_to_count(0.001, 100) == 1
+    with pytest.raises(ConfigurationError):
+        fraction_to_count(0.0, 100)
+    with pytest.raises(ConfigurationError):
+        fraction_to_count(1.5, 100)

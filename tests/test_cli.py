@@ -1,0 +1,87 @@
+"""Tests for the jwins-repro command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, scheme_factory_from_name
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.workload == "cifar10"
+    assert args.scheme == ["jwins", "full-sharing"]
+    assert args.seed == 1
+
+
+def test_parser_rejects_unknown_scheme():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--scheme", "magic"])
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["jwins", "jwins-adaptive", "full-sharing", "random-sampling", "topk", "choco", "quantized"],
+)
+def test_scheme_factory_from_name_builds_every_scheme(name):
+    args = build_parser().parse_args([])
+    factory = scheme_factory_from_name(name, args)
+    scheme = factory(0, 200, 1)
+    assert hasattr(scheme, "prepare")
+    assert hasattr(scheme, "aggregate")
+
+
+def test_budget_configures_jwins_distribution():
+    args = build_parser().parse_args(["--budget", "0.2"])
+    scheme = scheme_factory_from_name("jwins", args)(0, 200, 1)
+    assert scheme.config.expected_sharing_fraction == pytest.approx(0.2)
+
+
+def test_invalid_budget_rejected():
+    with pytest.raises(SystemExit):
+        main(["--budget", "1.5", "--nodes", "4", "--rounds", "1"])
+
+
+def test_main_runs_small_experiment(capsys):
+    exit_code = main(
+        [
+            "--workload",
+            "movielens",
+            "--scheme",
+            "jwins",
+            "--nodes",
+            "4",
+            "--degree",
+            "2",
+            "--rounds",
+            "2",
+            "--seed",
+            "3",
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "running jwins" in captured
+    assert "final acc" in captured
+
+
+def test_main_compares_multiple_schemes(capsys):
+    exit_code = main(
+        [
+            "--workload",
+            "movielens",
+            "--scheme",
+            "jwins",
+            "random-sampling",
+            "--nodes",
+            "4",
+            "--degree",
+            "2",
+            "--rounds",
+            "2",
+            "--seed",
+            "3",
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "jwins" in captured
+    assert "random-sampling" in captured

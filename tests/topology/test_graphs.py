@@ -1,0 +1,92 @@
+"""Tests for communication topologies."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.graphs import (
+    DynamicTopology,
+    Topology,
+    fully_connected_topology,
+    random_regular_topology,
+    ring_topology,
+    star_topology,
+)
+
+
+def test_random_regular_topology_degrees():
+    topology = random_regular_topology(16, 4, np.random.default_rng(0))
+    assert topology.num_nodes == 16
+    for node in range(16):
+        assert topology.degree(node) == 4
+    assert topology.is_connected()
+
+
+def test_random_regular_topology_is_deterministic_per_rng():
+    a = random_regular_topology(12, 4, np.random.default_rng(7))
+    b = random_regular_topology(12, 4, np.random.default_rng(7))
+    assert a.edges == b.edges
+
+
+def test_random_regular_odd_product_raises():
+    with pytest.raises(TopologyError):
+        random_regular_topology(5, 3, np.random.default_rng(0))
+
+
+def test_random_regular_degree_too_large_raises():
+    with pytest.raises(TopologyError):
+        random_regular_topology(4, 4, np.random.default_rng(0))
+
+
+def test_ring_topology_structure():
+    topology = ring_topology(6)
+    assert len(topology.edges) == 6
+    assert topology.neighbors(0) == [1, 5]
+    assert topology.is_connected()
+
+
+def test_fully_connected_topology():
+    topology = fully_connected_topology(5)
+    assert len(topology.edges) == 10
+    for node in range(5):
+        assert topology.degree(node) == 4
+
+
+def test_star_topology():
+    topology = star_topology(7, center=2)
+    assert topology.degree(2) == 6
+    assert all(topology.degree(node) == 1 for node in range(7) if node != 2)
+
+
+def test_star_invalid_center_raises():
+    with pytest.raises(TopologyError):
+        star_topology(4, center=9)
+
+
+def test_topology_rejects_self_loops():
+    with pytest.raises(TopologyError):
+        Topology(num_nodes=3, edges=((0, 0),))
+
+
+def test_topology_rejects_unknown_nodes():
+    with pytest.raises(TopologyError):
+        Topology(num_nodes=3, edges=((0, 5),))
+
+
+def test_adjacency_matrix_symmetric():
+    topology = random_regular_topology(10, 3, np.random.default_rng(1))
+    matrix = topology.adjacency_matrix()
+    assert np.array_equal(matrix, matrix.T)
+    assert matrix.sum() == 10 * 3
+
+
+def test_dynamic_topology_changes_every_round():
+    dynamic = DynamicTopology(12, 4, np.random.default_rng(2))
+    first = dynamic.current.edges
+    second = dynamic.advance().edges
+    third = dynamic.advance().edges
+    assert dynamic.current.edges == third
+    assert first != second or second != third
+    assert all(
+        dynamic.current.degree(node) == 4 for node in range(12)
+    )

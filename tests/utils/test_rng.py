@@ -1,0 +1,50 @@
+"""Tests for deterministic RNG derivation."""
+
+import numpy as np
+
+from repro.utils.rng import SeedSequenceFactory, derive_rng, spawn_seeds
+
+
+def test_same_namespace_same_stream():
+    a = derive_rng(42, "topology").random(5)
+    b = derive_rng(42, "topology").random(5)
+    assert np.array_equal(a, b)
+
+
+def test_different_namespace_different_stream():
+    a = derive_rng(42, "topology").random(5)
+    b = derive_rng(42, "init").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seed_different_stream():
+    a = derive_rng(1, "x").random(5)
+    b = derive_rng(2, "x").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_integer_namespace_components():
+    a = derive_rng(5, "node", 0).random(3)
+    b = derive_rng(5, "node", 1).random(3)
+    assert not np.array_equal(a, b)
+
+
+def test_spawn_seeds_count_and_determinism():
+    seeds_a = spawn_seeds(9, 10, "nodes")
+    seeds_b = spawn_seeds(9, 10, "nodes")
+    assert seeds_a == seeds_b
+    assert len(seeds_a) == 10
+    assert len(set(seeds_a)) == 10
+
+
+def test_factory_node_rng_independent_per_node():
+    factory = SeedSequenceFactory(seed=3)
+    a = factory.node_rng(0, "batches").random(4)
+    b = factory.node_rng(1, "batches").random(4)
+    assert not np.array_equal(a, b)
+
+
+def test_factory_node_seed_stable():
+    factory = SeedSequenceFactory(seed=3)
+    assert factory.node_seed(2, "scheme") == factory.node_seed(2, "scheme")
+    assert factory.node_seed(2, "scheme") != factory.node_seed(3, "scheme")

@@ -1,0 +1,57 @@
+"""Tests for statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.statistics import ConfidenceInterval, RunningMean, mean_confidence_interval
+
+
+def test_confidence_interval_single_sample_has_zero_width():
+    interval = mean_confidence_interval([3.5])
+    assert interval.mean == pytest.approx(3.5)
+    assert interval.half_width == 0.0
+
+
+def test_confidence_interval_contains_mean():
+    interval = mean_confidence_interval([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert interval.mean == pytest.approx(3.0)
+    assert 3.0 in interval
+    assert interval.low < 3.0 < interval.high
+
+
+def test_confidence_interval_width_grows_with_variance():
+    tight = mean_confidence_interval([1.0, 1.01, 0.99, 1.0, 1.0])
+    wide = mean_confidence_interval([0.0, 2.0, -1.0, 3.0, 1.0])
+    assert wide.half_width > tight.half_width
+
+
+def test_confidence_interval_empty_raises():
+    with pytest.raises(ValueError):
+        mean_confidence_interval([])
+
+
+def test_confidence_interval_bounds_symmetric():
+    interval = ConfidenceInterval(mean=2.0, half_width=0.5, confidence=0.95)
+    assert interval.low == pytest.approx(1.5)
+    assert interval.high == pytest.approx(2.5)
+
+
+def test_running_mean_matches_numpy():
+    values = np.random.default_rng(0).normal(size=100)
+    running = RunningMean()
+    running.update_many(values)
+    assert running.mean == pytest.approx(float(values.mean()))
+    assert running.count == 100
+
+
+def test_running_mean_weighted_update():
+    running = RunningMean()
+    running.update(1.0, weight=1.0)
+    running.update(3.0, weight=3.0)
+    assert running.mean == pytest.approx(2.5)
+
+
+def test_running_mean_rejects_nonpositive_weight():
+    running = RunningMean()
+    with pytest.raises(ValueError):
+        running.update(1.0, weight=0.0)

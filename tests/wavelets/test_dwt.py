@@ -1,0 +1,98 @@
+"""Tests for the multi-level discrete wavelet transform."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WaveletError
+from repro.wavelets.dwt import (
+    dwt_single,
+    idwt_single,
+    max_decomposition_level,
+    wavedec,
+    waverec,
+)
+
+
+@pytest.mark.parametrize("wavelet", ["haar", "db2", "sym2", "db3", "db4", "sym4"])
+@pytest.mark.parametrize("length", [16, 64, 100])
+def test_single_level_perfect_reconstruction(wavelet, length):
+    rng = np.random.default_rng(0)
+    signal = rng.normal(size=length)
+    approx, detail, padded = dwt_single(signal, wavelet)
+    assert approx.size == detail.size == (length + length % 2) // 2
+    restored = idwt_single(approx, detail, wavelet, padded=padded)
+    assert np.allclose(restored, signal, atol=1e-10)
+
+
+@pytest.mark.parametrize("wavelet", ["haar", "sym2", "db4"])
+@pytest.mark.parametrize("length", [17, 33, 1001])
+def test_multilevel_perfect_reconstruction_odd_lengths(wavelet, length):
+    rng = np.random.default_rng(1)
+    signal = rng.normal(size=length)
+    coefficients = wavedec(signal, wavelet, levels=4)
+    restored = waverec(coefficients)
+    assert restored.size == length
+    assert np.allclose(restored, signal, atol=1e-9)
+
+
+def test_levels_clamped_to_maximum():
+    signal = np.arange(20, dtype=float)
+    coefficients = wavedec(signal, "sym2", levels=10)
+    assert coefficients.levels == max_decomposition_level(20, "sym2")
+
+
+def test_zero_levels_is_identity():
+    signal = np.arange(10, dtype=float)
+    coefficients = wavedec(signal, "sym2", levels=0)
+    assert coefficients.levels == 0
+    assert np.allclose(waverec(coefficients), signal)
+
+
+def test_energy_preserved_for_even_lengths():
+    """The periodized orthogonal DWT preserves the L2 norm (Parseval)."""
+
+    rng = np.random.default_rng(2)
+    signal = rng.normal(size=256)
+    coefficients = wavedec(signal, "sym2", levels=4)
+    total = sum(float(np.sum(band**2)) for band in coefficients.arrays)
+    assert total == pytest.approx(float(np.sum(signal**2)), rel=1e-10)
+
+
+def test_linearity_of_transform():
+    rng = np.random.default_rng(3)
+    a = rng.normal(size=128)
+    b = rng.normal(size=128)
+    ca = np.concatenate(wavedec(a, "db2", 3).arrays)
+    cb = np.concatenate(wavedec(b, "db2", 3).arrays)
+    cab = np.concatenate(wavedec(2.0 * a - 0.5 * b, "db2", 3).arrays)
+    assert np.allclose(cab, 2.0 * ca - 0.5 * cb, atol=1e-10)
+
+
+def test_max_level_decreases_with_filter_length():
+    assert max_decomposition_level(64, "haar") >= max_decomposition_level(64, "db4")
+
+
+def test_empty_signal_raises():
+    with pytest.raises(WaveletError):
+        wavedec(np.zeros(0), "sym2", 2)
+
+
+def test_too_short_signal_for_single_level_raises():
+    with pytest.raises(WaveletError):
+        dwt_single(np.zeros(1), "haar")
+
+
+def test_mismatched_band_lengths_raise():
+    with pytest.raises(WaveletError):
+        idwt_single(np.zeros(4), np.zeros(5), "haar")
+
+
+def test_negative_levels_raise():
+    with pytest.raises(WaveletError):
+        wavedec(np.zeros(32), "sym2", levels=-1)
+
+
+def test_coefficient_count_close_to_signal_length():
+    signal = np.zeros(1000)
+    coefficients = wavedec(signal, "sym2", 4)
+    assert signal.size <= coefficients.total_size <= signal.size + coefficients.levels

@@ -1,0 +1,33 @@
+"""Tests for the packed real-FFT transform."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WaveletError
+from repro.wavelets.fourier import fft_forward, fft_inverse
+
+
+@pytest.mark.parametrize("length", [8, 9, 100, 101, 1024])
+def test_roundtrip(length):
+    rng = np.random.default_rng(length)
+    signal = rng.normal(size=length)
+    packed, layout = fft_forward(signal)
+    assert packed.size == length
+    assert np.allclose(fft_inverse(packed, layout), signal, atol=1e-10)
+
+
+def test_dc_component_is_sum():
+    signal = np.array([1.0, 2.0, 3.0, 4.0])
+    packed, _ = fft_forward(signal)
+    assert packed[0] == pytest.approx(signal.sum())
+
+
+def test_empty_signal_raises():
+    with pytest.raises(WaveletError):
+        fft_forward(np.zeros(0))
+
+
+def test_inverse_wrong_size_raises():
+    packed, layout = fft_forward(np.arange(10.0))
+    with pytest.raises(WaveletError):
+        fft_inverse(packed[:-1], layout)

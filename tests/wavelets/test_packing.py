@@ -1,0 +1,44 @@
+"""Tests for coefficient packing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WaveletError
+from repro.wavelets.dwt import wavedec, waverec
+from repro.wavelets.packing import pack_coefficients, unpack_coefficients
+
+
+def test_pack_unpack_roundtrip():
+    rng = np.random.default_rng(0)
+    signal = rng.normal(size=300)
+    coefficients = wavedec(signal, "sym2", 4)
+    vector, layout = pack_coefficients(coefficients)
+    assert vector.size == layout.total_size
+    restored = unpack_coefficients(vector, layout)
+    assert np.allclose(waverec(restored), signal, atol=1e-9)
+
+
+def test_band_slices_cover_vector_exactly():
+    signal = np.random.default_rng(1).normal(size=128)
+    _, layout = pack_coefficients(wavedec(signal, "db2", 3))
+    slices = layout.band_slices()
+    assert slices[0].start == 0
+    assert slices[-1].stop == layout.total_size
+    for previous, current in zip(slices, slices[1:]):
+        assert previous.stop == current.start
+
+
+def test_unpack_wrong_size_raises():
+    signal = np.random.default_rng(2).normal(size=64)
+    vector, layout = pack_coefficients(wavedec(signal, "haar", 2))
+    with pytest.raises(WaveletError):
+        unpack_coefficients(vector[:-1], layout)
+
+
+def test_modifying_packed_vector_changes_reconstruction():
+    signal = np.random.default_rng(3).normal(size=64)
+    vector, layout = pack_coefficients(wavedec(signal, "sym2", 3))
+    vector = vector.copy()
+    vector[:] = 0.0
+    reconstructed = waverec(unpack_coefficients(vector, layout))
+    assert np.allclose(reconstructed, 0.0, atol=1e-12)
