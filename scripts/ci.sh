@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Continuous-integration entry point: byte-compile everything, run the tier-1
+# suite (tests + benchmark harness) and finish with a fast end-to-end smoke of
+# the asynchronous gossip execution mode.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== byte-compiling src =="
+python -m compileall -q src
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo "== async gossip smoke benchmark =="
+python examples/async_gossip.py --smoke
+
+echo "CI OK"

@@ -5,14 +5,17 @@ This library reproduces "Get More for Less in Decentralized Learning Systems"
 
 * :mod:`repro.core` — the JWINS sharing scheme and the sharing-scheme interface;
 * :mod:`repro.baselines` — full sharing, random sampling, TopK and CHOCO-SGD;
-* :mod:`repro.simulation` — the decentralized-learning round simulator;
+* :mod:`repro.simulation` — the event-driven :class:`~repro.simulation.Simulator`
+  engine with pluggable execution modes (synchronous lock-step rounds and
+  asynchronous gossip over heterogeneous nodes) plus the
+  :func:`~repro.simulation.run_experiment` one-call facade;
 * :mod:`repro.datasets` — the five synthetic workloads and non-IID partitioners;
 * :mod:`repro.nn` — the numpy neural-network substrate;
 * :mod:`repro.wavelets`, :mod:`repro.compression`, :mod:`repro.topology`,
   :mod:`repro.sparsification` — the remaining substrates;
 * :mod:`repro.evaluation` — the harness regenerating the paper's tables/figures.
 
-Quickstart::
+Quickstart — one call, the paper's synchronous schedule::
 
     from repro.core import JwinsConfig, jwins_factory
     from repro.datasets import make_cifar10_task
@@ -22,6 +25,22 @@ Quickstart::
     result = run_experiment(task, jwins_factory(JwinsConfig.paper_default()),
                             ExperimentConfig(num_nodes=8, rounds=20, seed=1))
     print(result.final_accuracy, result.total_gib)
+
+The engine behind the facade is a first-class object.  Build it directly to
+pick an execution mode and attach observers without editing any loop::
+
+    from repro.simulation import ExperimentConfig, Simulator
+
+    config = ExperimentConfig(num_nodes=8, rounds=20, seed=1,
+                              execution="async",            # event-driven gossip
+                              compute_speed_range=(1.0, 4.0))  # 4x stragglers
+    simulator = Simulator(task, jwins_factory(JwinsConfig.paper_default()), config)
+    simulator.on_evaluate(lambda record: print(record.round_index, record.test_accuracy))
+    simulator.on_message(lambda message, receiver, now: None)  # delivery hook
+    result = simulator.run()
+    print(result.clock_skew_seconds)   # how far stragglers fell behind
+
+See ``examples/async_gossip.py`` for a runnable side-by-side comparison.
 """
 
 from repro.version import __version__

@@ -74,7 +74,13 @@ class ChocoScheme(SharingScheme):
             values_bytes=compressed.size_bytes, metadata_bytes=encoded.size_bytes
         )
         payload = {"indices": indices, "values": values}
-        return Message(sender=self.node_id, kind=MESSAGE_KIND, payload=payload, size=size)
+        return Message(
+            sender=self.node_id,
+            kind=MESSAGE_KIND,
+            payload=payload,
+            size=size,
+            shared_fraction=min(1.0, values.size / max(1, self.model_size)),
+        )
 
     def aggregate(self, context: RoundContext, messages: list[Message]) -> np.ndarray:
         if self._own_update is None:

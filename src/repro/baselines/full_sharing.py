@@ -39,6 +39,7 @@ class FullSharingScheme(SharingScheme):
             kind=MESSAGE_KIND,
             payload={"values": values.copy()},
             size=size,
+            shared_fraction=1.0,
         )
 
     def aggregate(self, context: RoundContext, messages: list[Message]) -> np.ndarray:

@@ -66,6 +66,7 @@ class QuantizedSharingScheme(SharingScheme):
             kind=MESSAGE_KIND,
             payload={"values": dequantized, "bits": self.bits},
             size=size,
+            shared_fraction=1.0,
         )
 
     def aggregate(self, context: RoundContext, messages: list[Message]) -> np.ndarray:

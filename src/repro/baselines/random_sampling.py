@@ -61,7 +61,13 @@ class RandomSamplingScheme(SharingScheme):
             values_bytes=compressed.size_bytes, metadata_bytes=SEED_METADATA_BYTES
         )
         payload = {"indices": indices, "values": values, "seed": round_seed}
-        return Message(sender=self.node_id, kind=MESSAGE_KIND, payload=payload, size=size)
+        return Message(
+            sender=self.node_id,
+            kind=MESSAGE_KIND,
+            payload=payload,
+            size=size,
+            shared_fraction=min(1.0, values.size / max(1, self.model_size)),
+        )
 
     def aggregate(self, context: RoundContext, messages: list[Message]) -> np.ndarray:
         own = np.asarray(context.params_trained, dtype=np.float64)

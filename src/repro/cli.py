@@ -13,7 +13,6 @@ simulator, then prints a comparison table — a command-line version of what
 from __future__ import annotations
 
 import argparse
-from dataclasses import replace
 from typing import Callable, Sequence
 
 from repro.baselines import (
@@ -26,6 +25,7 @@ from repro.baselines import (
 from repro.core import JwinsConfig, adaptive_jwins_factory, jwins_factory
 from repro.core.interface import SchemeFactory
 from repro.evaluation import get_workload, summarize_results
+from repro.exceptions import ConfigurationError
 from repro.simulation import run_experiment
 from repro.version import __version__
 
@@ -105,6 +105,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--gamma", type=float, default=0.6, help="CHOCO consensus step size")
     parser.add_argument("--bits", type=int, default=4, help="bits for the quantized baseline")
+    parser.add_argument(
+        "--execution",
+        choices=("sync", "async"),
+        default="sync",
+        help="sync = the paper's lock-step rounds; async = event-driven gossip "
+        "where heterogeneous nodes progress at their own pace",
+    )
+    parser.add_argument(
+        "--slowdown",
+        type=float,
+        default=1.0,
+        help="async mode: the slowest node's compute slowdown factor; node speeds "
+        "are drawn uniformly from [1, SLOWDOWN] (1.0 = homogeneous cluster)",
+    )
+    parser.add_argument(
+        "--drop-probability",
+        type=float,
+        default=0.0,
+        help="probability that each message delivery is independently dropped",
+    )
     return parser
 
 
@@ -114,22 +134,33 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.budget is not None and not 0.0 < args.budget <= 1.0:
         raise SystemExit("--budget must be in (0, 1]")
+    if args.slowdown < 1.0:
+        raise SystemExit("--slowdown must be >= 1")
+    if not 0.0 <= args.drop_probability < 1.0:
+        raise SystemExit("--drop-probability must be in [0, 1)")
 
     workload = get_workload(args.workload)
     task = workload.make_task(seed=args.seed)
-    config = workload.config
-    overrides = {"seed": args.seed, "dynamic_topology": args.dynamic_topology}
+    overrides = {
+        "seed": args.seed,
+        "dynamic_topology": args.dynamic_topology,
+        "compute_speed_range": (1.0, args.slowdown),
+        "message_drop_probability": args.drop_probability,
+    }
     if args.nodes is not None:
         overrides["num_nodes"] = args.nodes
     if args.degree is not None:
         overrides["degree"] = args.degree
     if args.rounds is not None:
         overrides["rounds"] = args.rounds
-    config = replace(config, **overrides)
+    try:
+        config = workload.make_config(execution=args.execution, **overrides)
+    except ConfigurationError as error:
+        raise SystemExit(f"invalid configuration: {error}")
 
     print(
         f"workload={workload.name} nodes={config.num_nodes} rounds={config.rounds} "
-        f"partition={config.partition} seed={config.seed}"
+        f"partition={config.partition} seed={config.seed} execution={config.execution}"
     )
     results = {}
     for scheme_name in args.scheme:

@@ -29,12 +29,22 @@ class Message:
     ``payload`` is scheme-specific (dense parameters, sparse coefficients plus
     indices, CHOCO difference updates, ...); ``size`` is the measured wire
     size of the payload, which is what the byte-metering layer accounts.
+
+    ``shared_fraction`` is the fraction of the model this message carries,
+    reported by the scheme itself in :meth:`SharingScheme.prepare` (capped at
+    1.0 and measured in parameter counts, i.e. ``values sent / model size``).
+    It replaces the simulator's old payload-sniffing heuristic, which guessed
+    the fraction from the size of a ``payload["values"]`` entry and silently
+    fell back to 1.0 for any scheme using a different payload layout (e.g. a
+    purely seed- or dictionary-coded payload) — an explicit field cannot
+    mis-report. The default of 1.0 matches a full-model message.
     """
 
     sender: int
     kind: str
     payload: dict[str, Any] = field(repr=False)
     size: PayloadSize = field(default_factory=lambda: PayloadSize(0, 0))
+    shared_fraction: float = 1.0
 
 
 @dataclass
@@ -55,6 +65,13 @@ class RoundContext:
         Mapping from neighbor id to ``W[i][j]`` for the current topology.
     rng:
         Per-node, per-round generator (used e.g. by the randomized cut-off).
+    now:
+        Simulated time (seconds) at which the round is happening.  Under the
+        synchronous mode every node shares the barrier clock; under the
+        asynchronous mode each node sees its own local clock.
+    node_id:
+        Identifier of the node this context belongs to (``-1`` when the
+        context is built outside the simulator, e.g. in unit tests).
     """
 
     round_index: int
@@ -63,6 +80,8 @@ class RoundContext:
     self_weight: float
     neighbor_weights: dict[int, float]
     rng: np.random.Generator
+    now: float = 0.0
+    node_id: int = -1
 
     @property
     def model_size(self) -> int:

@@ -108,7 +108,13 @@ class JwinsScheme(SharingScheme):
             "alpha": alpha,
             "coefficient_size": self.ranker.coefficient_size,
         }
-        return Message(sender=self.node_id, kind=MESSAGE_KIND, payload=payload, size=size)
+        return Message(
+            sender=self.node_id,
+            kind=MESSAGE_KIND,
+            payload=payload,
+            size=size,
+            shared_fraction=min(1.0, values.size / max(1, context.model_size)),
+        )
 
     # -- Algorithm 1, lines 9-11 ------------------------------------------------
     def aggregate(self, context: RoundContext, messages: list[Message]) -> np.ndarray:

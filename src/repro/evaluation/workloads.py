@@ -8,7 +8,7 @@ paper-vs-measured comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.datasets import (
@@ -49,6 +49,16 @@ class Workload:
 
     def make_task(self, seed: int) -> LearningTask:
         return self.task_factory(seed)
+
+    def make_config(self, execution: str = "sync", **overrides) -> ExperimentConfig:
+        """The workload's configuration under the given execution mode.
+
+        ``overrides`` are passed to :func:`dataclasses.replace`, so callers
+        (e.g. the CLI) can adjust nodes, rounds or heterogeneity knobs while
+        keeping the workload's validated defaults.
+        """
+
+        return replace(self.config, execution=execution, **overrides)
 
 
 def _cifar_task(seed: int) -> LearningTask:

@@ -1,19 +1,60 @@
-"""Decentralized-learning simulator: nodes, byte metering, scheduler and metrics."""
+"""Decentralized-learning simulator: the event-driven engine and its parts.
 
-from repro.simulation.experiment import ExperimentConfig
+The package is organized around the :class:`~repro.simulation.engine.Simulator`
+engine:
+
+* :mod:`repro.simulation.engine` — the :class:`Simulator` (nodes, topology,
+  byte metering, evaluation) plus the pluggable execution modes:
+  :class:`SynchronousMode` (the paper's lock-step rounds) and
+  :class:`AsynchronousMode` (event-driven gossip over heterogeneous nodes);
+* :mod:`repro.simulation.events` — the typed :class:`Event` and the
+  deterministic :class:`EventLoop` the async mode runs on;
+* :mod:`repro.simulation.runner` — the :func:`run_experiment` one-call facade;
+* :mod:`repro.simulation.experiment` — :class:`ExperimentConfig`, including
+  the ``execution`` mode and heterogeneity knobs;
+* :mod:`repro.simulation.timing` — :class:`TimeModel` and
+  :class:`HeterogeneousTimeModel`;
+* :mod:`repro.simulation.node`, :mod:`repro.simulation.network`,
+  :mod:`repro.simulation.metrics` — nodes, byte metering and results.
+
+Attach observers instead of editing the loop::
+
+    simulator = Simulator(task, scheme_factory, config)
+    simulator.on_evaluate(lambda record: print(record.round_index, record.test_accuracy))
+    result = simulator.run()
+"""
+
+from repro.simulation.engine import (
+    AsynchronousMode,
+    ExecutionMode,
+    SimulationObserver,
+    Simulator,
+    SynchronousMode,
+)
+from repro.simulation.events import Event, EventLoop
+from repro.simulation.experiment import EXECUTION_MODES, ExperimentConfig
 from repro.simulation.metrics import ExperimentResult, RoundRecord
 from repro.simulation.network import ByteMeter
 from repro.simulation.node import SimulationNode
 from repro.simulation.runner import build_nodes, run_experiment
-from repro.simulation.timing import TimeModel
+from repro.simulation.timing import HeterogeneousTimeModel, TimeModel
 
 __all__ = [
+    "AsynchronousMode",
+    "ByteMeter",
+    "EXECUTION_MODES",
+    "Event",
+    "EventLoop",
+    "ExecutionMode",
     "ExperimentConfig",
     "ExperimentResult",
+    "HeterogeneousTimeModel",
     "RoundRecord",
-    "ByteMeter",
     "SimulationNode",
+    "SimulationObserver",
+    "Simulator",
+    "SynchronousMode",
+    "TimeModel",
     "build_nodes",
     "run_experiment",
-    "TimeModel",
 ]

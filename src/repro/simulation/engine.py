@@ -1,0 +1,599 @@
+"""The :class:`Simulator` engine and its pluggable execution modes.
+
+The engine separates three concerns that used to live in one monolithic loop:
+
+* the :class:`Simulator` owns the *deployment* — nodes, topology, mixing
+  weights, byte metering, evaluation and the result being built;
+* an :class:`ExecutionMode` strategy owns the *schedule* — how rounds unfold
+  in simulated time.  :class:`SynchronousMode` reproduces the paper's
+  lock-step rounds bit-for-bit; :class:`AsynchronousMode` runs event-driven
+  gossip where heterogeneous nodes progress at their own pace;
+* observers attach to the engine's hook points (``on_round_end``,
+  ``on_message``, ``on_evaluate``) so metrics collection, early-stop logic or
+  live dashboards never require editing the loop itself.
+
+Typical use::
+
+    simulator = Simulator(task, jwins_factory(), config)
+    simulator.on_round_end(lambda round_index, node_id, now: print(round_index, now))
+    result = simulator.run()
+
+The :func:`~repro.simulation.runner.run_experiment` facade keeps the one-call
+API every benchmark and example uses.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from repro.core.interface import Message, RoundContext, SchemeFactory
+from repro.datasets.base import LearningTask
+from repro.datasets.partition import partition_dataset
+from repro.exceptions import SimulationError
+from repro.simulation.events import (
+    AGGREGATE,
+    DELIVER_MESSAGE,
+    FINISH_TRAIN,
+    START_ROUND,
+    EventLoop,
+)
+from repro.simulation.experiment import ExperimentConfig
+from repro.simulation.metrics import ExperimentResult, RoundRecord
+from repro.simulation.network import ByteMeter
+from repro.simulation.node import SimulationNode
+from repro.topology.graphs import Topology, random_regular_topology
+from repro.topology.weights import metropolis_hastings_weights
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = [
+    "AsynchronousMode",
+    "ExecutionMode",
+    "SimulationObserver",
+    "Simulator",
+    "SynchronousMode",
+    "build_nodes",
+]
+
+MessageCallback = Callable[[Message, int, float], None]
+RoundEndCallback = Callable[[int, "int | None", float], None]
+EvaluateCallback = Callable[[RoundRecord], None]
+
+
+def build_nodes(
+    task: LearningTask,
+    scheme_factory: SchemeFactory,
+    config: ExperimentConfig,
+) -> list[SimulationNode]:
+    """Create the simulation nodes: partitioned data, common initial model, schemes."""
+
+    seeds = SeedSequenceFactory(config.seed)
+    partition_rng = seeds.rng("partition")
+    partitions = partition_dataset(
+        task.train,
+        config.num_nodes,
+        partition_rng,
+        scheme=config.partition,
+        shards_per_node=config.shards_per_node,
+    )
+
+    # All nodes start from the same initial model (as in D-PSGD): build one
+    # reference model and copy its flat parameters into every node's model.
+    reference_model = task.make_model(seeds.rng("model-init"))
+    from repro.nn.module import get_flat_parameters  # local import avoids a cycle
+
+    initial_parameters = get_flat_parameters(reference_model)
+    model_size = initial_parameters.size
+
+    nodes: list[SimulationNode] = []
+    for node_id in range(config.num_nodes):
+        model = task.make_model(seeds.rng("model-init"))
+        scheme = scheme_factory(node_id, model_size, seeds.node_seed(node_id, "scheme"))
+        node = SimulationNode(
+            node_id=node_id,
+            dataset=partitions[node_id],
+            model=model,
+            loss=task.make_loss(),
+            scheme=scheme,
+            learning_rate=config.learning_rate,
+            batch_size=config.batch_size,
+            local_steps=config.local_steps,
+            rng=seeds.node_rng(node_id, "batches"),
+            momentum=config.momentum,
+        )
+        node.set_parameters(initial_parameters)
+        nodes.append(node)
+    return nodes
+
+
+class SimulationObserver:
+    """Base class for engine observers; override any subset of the hooks.
+
+    Prefer this over raw callbacks when one object wants several hooks, e.g.
+    a dashboard collecting both deliveries and evaluation points::
+
+        class Dashboard(SimulationObserver):
+            def on_message(self, message, receiver, now):
+                ...
+            def on_evaluate(self, record):
+                ...
+
+        simulator.add_observer(Dashboard())
+    """
+
+    def on_round_end(self, round_index: int, node_id: int | None, now: float) -> None:
+        """A round finished.  ``node_id`` is ``None`` under the synchronous
+        barrier (the round ends globally) and the finishing node's id under
+        the asynchronous mode."""
+
+    def on_message(self, message: Message, receiver: int, now: float) -> None:
+        """``message`` was delivered to ``receiver`` at simulated time ``now``."""
+
+    def on_evaluate(self, record: RoundRecord) -> None:
+        """An evaluation point was recorded."""
+
+
+class ExecutionMode(ABC):
+    """Strategy deciding how rounds unfold in simulated time."""
+
+    #: Short name stored on :attr:`ExperimentResult.execution`.
+    name = "abstract"
+
+    @abstractmethod
+    def run(self, simulator: "Simulator") -> None:
+        """Drive ``simulator`` to completion, filling its result in place."""
+
+
+class Simulator:
+    """Owns one decentralized-learning deployment and drives it to completion.
+
+    Parameters
+    ----------
+    task:
+        The learning task (dataset + model + loss factories).
+    scheme_factory:
+        Factory building one :class:`~repro.core.interface.SharingScheme` per node.
+    config:
+        The experiment configuration; ``config.execution`` selects the default
+        execution mode unless ``mode`` overrides it.
+    scheme_name:
+        Optional display name stored on the result.
+    mode:
+        Explicit :class:`ExecutionMode` instance; defaults to
+        :class:`SynchronousMode` or :class:`AsynchronousMode` per the config.
+    """
+
+    def __init__(
+        self,
+        task: LearningTask,
+        scheme_factory: SchemeFactory,
+        config: ExperimentConfig,
+        scheme_name: str | None = None,
+        mode: ExecutionMode | None = None,
+    ) -> None:
+        self.task = task
+        self.config = config
+        self.seeds = SeedSequenceFactory(config.seed)
+        self.nodes = build_nodes(task, scheme_factory, config)
+        self.model_size = int(self.nodes[0].get_parameters().size)
+
+        self._topology_rng = self.seeds.rng("topology")
+        self.topology: Topology = random_regular_topology(
+            config.num_nodes, config.degree, self._topology_rng
+        )
+        self.weights = metropolis_hastings_weights(self.topology)
+
+        self.meter = ByteMeter(config.num_nodes)
+        self._eval_rng = self.seeds.rng("evaluation")
+        self._drop_rng = self.seeds.rng("message-drops")
+
+        if mode is None:
+            mode = SynchronousMode() if config.execution == "sync" else AsynchronousMode()
+        self.mode = mode
+
+        self.result = ExperimentResult(
+            scheme=scheme_name or self.nodes[0].scheme.name,
+            task=task.name,
+            num_nodes=config.num_nodes,
+            rounds_completed=0,
+            target_accuracy=config.target_accuracy,
+            execution=mode.name,
+        )
+
+        self._round_end_callbacks: list[RoundEndCallback] = []
+        self._message_callbacks: list[MessageCallback] = []
+        self._evaluate_callbacks: list[EvaluateCallback] = []
+        self._ran = False
+
+    # -- observer hooks ------------------------------------------------------------
+    def on_round_end(self, callback: RoundEndCallback) -> "Simulator":
+        """Register ``callback(round_index, node_id, now)``; returns ``self``."""
+
+        self._round_end_callbacks.append(callback)
+        return self
+
+    def on_message(self, callback: MessageCallback) -> "Simulator":
+        """Register ``callback(message, receiver, now)``; returns ``self``."""
+
+        self._message_callbacks.append(callback)
+        return self
+
+    def on_evaluate(self, callback: EvaluateCallback) -> "Simulator":
+        """Register ``callback(record)``; returns ``self``."""
+
+        self._evaluate_callbacks.append(callback)
+        return self
+
+    def add_observer(self, observer: SimulationObserver) -> "Simulator":
+        """Attach all three hooks of a :class:`SimulationObserver` at once."""
+
+        return (
+            self.on_round_end(observer.on_round_end)
+            .on_message(observer.on_message)
+            .on_evaluate(observer.on_evaluate)
+        )
+
+    def emit_round_end(self, round_index: int, node_id: int | None, now: float) -> None:
+        for callback in self._round_end_callbacks:
+            callback(round_index, node_id, now)
+
+    def emit_message(self, message: Message, receiver: int, now: float) -> None:
+        for callback in self._message_callbacks:
+            callback(message, receiver, now)
+
+    # -- deployment helpers --------------------------------------------------------
+    def resample_topology(self) -> None:
+        """Draw a fresh random-regular topology (dynamic-topology experiments)."""
+
+        self.topology = random_regular_topology(
+            self.config.num_nodes, self.config.degree, self._topology_rng
+        )
+        self.weights = metropolis_hastings_weights(self.topology)
+
+    def make_context(
+        self,
+        node: SimulationNode,
+        round_index: int,
+        params_start: np.ndarray,
+        params_trained: np.ndarray,
+        now: float,
+    ) -> RoundContext:
+        """Build the :class:`RoundContext` a scheme sees for one round."""
+
+        neighbor_weights = {
+            neighbor: float(self.weights[node.node_id, neighbor])
+            for neighbor in self.topology.neighbors(node.node_id)
+        }
+        return RoundContext(
+            round_index=round_index,
+            params_start=params_start,
+            params_trained=params_trained,
+            self_weight=float(self.weights[node.node_id, node.node_id]),
+            neighbor_weights=neighbor_weights,
+            rng=self.seeds.node_rng(node.node_id, "round", round_index),
+            now=now,
+            node_id=node.node_id,
+        )
+
+    def prepare_message(self, node: SimulationNode, context: RoundContext) -> Message:
+        """Ask ``node``'s scheme for its round message and meter the send."""
+
+        message = node.scheme.prepare(context)
+        if message.sender != node.node_id:
+            raise SimulationError("a scheme produced a message with the wrong sender id")
+        self.meter.record_send(
+            node.node_id, message.size, copies=len(context.neighbor_weights)
+        )
+        return message
+
+    def deliver_allowed(self) -> bool:
+        """One Bernoulli draw of the lossy-network model: ``True`` = delivered.
+
+        The sender's bytes are metered regardless (the data still left its
+        uplink); a dropped delivery simply never reaches the receiver.
+        """
+
+        return self._drop_rng.random() >= self.config.message_drop_probability
+
+    # -- evaluation ----------------------------------------------------------------
+    def _evaluate_nodes(self) -> tuple[float, float]:
+        """Average test loss and accuracy over (a sample of) the nodes."""
+
+        config = self.config
+        test = self.task.test
+        sample_size = min(config.eval_test_samples, len(test))
+        indices = self._eval_rng.choice(len(test), size=sample_size, replace=False)
+        inputs, targets = test.batch(indices)
+
+        if config.eval_nodes is None or config.eval_nodes >= len(self.nodes):
+            evaluated = self.nodes
+        else:
+            chosen = self._eval_rng.choice(
+                len(self.nodes), size=config.eval_nodes, replace=False
+            )
+            evaluated = [self.nodes[i] for i in chosen]
+
+        losses, accuracies = [], []
+        for node in evaluated:
+            loss, accuracy = node.evaluate(inputs, targets, self.task.accuracy_fn)
+            losses.append(loss)
+            accuracies.append(accuracy)
+        return float(np.mean(losses)), float(np.mean(accuracies))
+
+    def record_evaluation(
+        self, round_index: int, shared_fraction: float, now: float
+    ) -> RoundRecord:
+        """Evaluate the deployment and append a :class:`RoundRecord`."""
+
+        test_loss, test_accuracy = self._evaluate_nodes()
+        train_loss = float(np.mean([node.last_train_loss for node in self.nodes]))
+        record = RoundRecord(
+            round_index=round_index,
+            test_accuracy=test_accuracy,
+            test_loss=test_loss,
+            train_loss=train_loss,
+            cumulative_bytes_per_node=self.meter.average_bytes_per_node,
+            cumulative_metadata_bytes_per_node=float(
+                self.meter.metadata_bytes_per_node.mean()
+            ),
+            simulated_time_seconds=now,
+            average_shared_fraction=shared_fraction,
+        )
+        self.result.history.append(record)
+        if (
+            self.config.target_accuracy is not None
+            and self.result.reached_target_at_round is None
+            and test_accuracy >= self.config.target_accuracy
+        ):
+            self.result.reached_target_at_round = round_index
+        for callback in self._evaluate_callbacks:
+            callback(record)
+        return record
+
+    def should_stop_at_target(self) -> bool:
+        """Whether the early-stop condition fired."""
+
+        return (
+            self.config.stop_at_target
+            and self.config.target_accuracy is not None
+            and self.result.reached_target_at_round is not None
+        )
+
+    # -- driving -------------------------------------------------------------------
+    def run(self) -> ExperimentResult:
+        """Run the experiment once and return the finished result."""
+
+        if self._ran:
+            raise SimulationError(
+                "a Simulator instance is single-shot; build a new one to re-run"
+            )
+        self._ran = True
+        self.mode.run(self)
+        self.result.total_bytes = self.meter.total_bytes
+        self.result.total_metadata_bytes = self.meter.total_metadata_bytes
+        self.result.total_values_bytes = self.meter.total_values_bytes
+        return self.result
+
+
+class SynchronousMode(ExecutionMode):
+    """The paper's lock-step schedule: train, exchange, aggregate, barrier.
+
+    This mode is a faithful port of the original monolithic runner — for a
+    given seed it produces the identical :class:`ExperimentResult` (history,
+    bytes, simulated time), which the regression tests pin down.
+    """
+
+    name = "sync"
+
+    def run(self, simulator: Simulator) -> None:
+        config = simulator.config
+        nodes = simulator.nodes
+        clock = 0.0
+
+        for round_index in range(config.rounds):
+            if config.dynamic_topology and round_index > 0:
+                simulator.resample_topology()
+
+            # -- train + prepare ---------------------------------------------------
+            contexts: list[RoundContext] = []
+            messages: list[Message] = []
+            for node in nodes:
+                params_start, params_trained = node.local_training()
+                context = simulator.make_context(
+                    node, round_index, params_start, params_trained, now=clock
+                )
+                messages.append(simulator.prepare_message(node, context))
+                contexts.append(context)
+
+            # -- deliver + aggregate -----------------------------------------------
+            round_fractions = [message.shared_fraction for message in messages]
+            for node, context in zip(nodes, contexts):
+                inbox = [
+                    messages[neighbor]
+                    for neighbor in simulator.topology.neighbors(node.node_id)
+                ]
+                if config.message_drop_probability > 0.0:
+                    inbox = [m for m in inbox if simulator.deliver_allowed()]
+                for message in inbox:
+                    simulator.emit_message(message, node.node_id, clock)
+                new_params = node.scheme.aggregate(context, inbox)
+                node.scheme.finalize(context, new_params)
+                node.set_parameters(new_params)
+
+            # -- meter time and bytes ----------------------------------------------
+            max_bytes = max(
+                message.size.total_bytes * len(simulator.topology.neighbors(message.sender))
+                for message in messages
+            )
+            clock += config.time_model.round_duration(config.local_steps, max_bytes)
+            simulator.meter.end_round()
+            simulator.result.rounds_completed = round_index + 1
+            simulator.emit_round_end(round_index, None, clock)
+
+            # -- evaluate ----------------------------------------------------------
+            is_last = round_index == config.rounds - 1
+            if (round_index + 1) % config.eval_every == 0 or is_last:
+                simulator.record_evaluation(
+                    round_index + 1, float(np.mean(round_fractions)), clock
+                )
+                if simulator.should_stop_at_target():
+                    break
+
+        simulator.result.simulated_time_seconds = clock
+        simulator.result.per_node_time_seconds = [clock] * config.num_nodes
+
+
+class AsynchronousMode(ExecutionMode):
+    """Event-driven gossip: every node rounds at its own, heterogeneous pace.
+
+    Per node the event chain is ``START_ROUND -> FINISH_TRAIN ->
+    DELIVER_MESSAGE (to each neighbor) -> AGGREGATE``:
+
+    * ``START_ROUND``: the node begins its local SGD steps; compute time is
+      scaled by its per-node slowdown drawn from the
+      :class:`~repro.simulation.timing.HeterogeneousTimeModel`.
+    * ``FINISH_TRAIN``: the node prepares its scheme message and pushes one
+      copy per neighbor on its uplink; deliveries land after the serialized
+      transfer time plus per-link latency (with optional jitter), unless the
+      lossy-network model drops them in flight.
+    * ``AGGREGATE`` fires once the uplink is drained: the node combines its
+      model with whatever its inbox holds *right now* (stale or missing
+      neighbors degrade gracefully — that is the point of gossip), then
+      immediately starts its next round.
+
+    Evaluation keeps the configured cadence against *globally completed*
+    rounds (the minimum round counter over all nodes), so learning curves
+    remain comparable to the synchronous mode.  The result records each
+    node's final local clock; :attr:`ExperimentResult.clock_skew_seconds`
+    is the straggler spread.
+    """
+
+    name = "async"
+
+    def run(self, simulator: Simulator) -> None:
+        config = simulator.config
+        nodes = simulator.nodes
+        num_nodes = config.num_nodes
+        time_model = config.resolved_time_model()
+
+        heterogeneity_rng = simulator.seeds.rng("heterogeneity")
+        compute_slowdown = time_model.sample_compute_multipliers(
+            num_nodes, heterogeneity_rng
+        )
+        bandwidth_scale = time_model.sample_bandwidth_multipliers(
+            num_nodes, heterogeneity_rng
+        )
+        latency_rng = simulator.seeds.rng("link-latency")
+
+        loop = EventLoop()
+        # Per receiver: sender -> (sender's round, message) of the freshest
+        # delivery currently held.
+        inboxes: list[dict[int, tuple[int, Message]]] = [{} for _ in range(num_nodes)]
+        contexts: list[RoundContext | None] = [None] * num_nodes
+        node_round = [0] * num_nodes
+        node_clock = [0.0] * num_nodes
+        last_fraction = [1.0] * num_nodes
+        evaluated_through = 0
+
+        for node in nodes:
+            loop.schedule(0.0, START_ROUND, node.node_id)
+
+        while loop:
+            event = loop.pop()
+            now, node_id = event.time, event.node_id
+            if event.kind != DELIVER_MESSAGE:
+                # A delivery is passive: it lands in the inbox without
+                # advancing the receiver's own progress clock.
+                node_clock[node_id] = max(node_clock[node_id], now)
+
+            if event.kind == START_ROUND:
+                duration = (
+                    time_model.compute_duration(config.local_steps)
+                    * compute_slowdown[node_id]
+                )
+                loop.schedule(now + duration, FINISH_TRAIN, node_id)
+
+            elif event.kind == FINISH_TRAIN:
+                node = nodes[node_id]
+                params_start, params_trained = node.local_training()
+                context = simulator.make_context(
+                    node, node_round[node_id], params_start, params_trained, now=now
+                )
+                contexts[node_id] = context
+                message = simulator.prepare_message(node, context)
+                last_fraction[node_id] = message.shared_fraction
+
+                neighbors = simulator.topology.neighbors(node_id)
+                # The uplink serializes the copies: neighbor k's copy starts
+                # travelling only after the first k copies have been pushed.
+                transfer = (
+                    time_model.transfer_duration(message.size.total_bytes)
+                    / bandwidth_scale[node_id]
+                )
+                for position, neighbor in enumerate(neighbors):
+                    sent_at = now + (position + 1) * transfer
+                    if not simulator.deliver_allowed():
+                        continue  # dropped in flight; uplink bytes already metered
+                    latency = time_model.sample_link_latency(latency_rng)
+                    loop.schedule(
+                        sent_at + latency,
+                        DELIVER_MESSAGE,
+                        neighbor,
+                        data={"message": message, "round": node_round[node_id]},
+                    )
+                loop.schedule(now + len(neighbors) * transfer, AGGREGATE, node_id)
+
+            elif event.kind == DELIVER_MESSAGE:
+                message = event.data["message"]
+                round_sent = event.data["round"]
+                # Keep only the freshest message per sender: gossip aggregation
+                # mixes at most one contribution per neighbor.  Latency jitter
+                # can reorder a sender's consecutive deliveries, so freshness
+                # is judged by the sender's round, not by arrival time.
+                held = inboxes[node_id].get(message.sender)
+                if held is None or round_sent >= held[0]:
+                    inboxes[node_id][message.sender] = (round_sent, message)
+                simulator.emit_message(message, node_id, now)
+
+            elif event.kind == AGGREGATE:
+                node = nodes[node_id]
+                context = contexts[node_id]
+                if context is None:  # pragma: no cover - event chain guarantees this
+                    raise SimulationError("AGGREGATE fired before FINISH_TRAIN")
+                inbox = [message for _, message in inboxes[node_id].values()]
+                inboxes[node_id].clear()
+                new_params = node.scheme.aggregate(context, inbox)
+                node.scheme.finalize(context, new_params)
+                node.set_parameters(new_params)
+                contexts[node_id] = None
+                node_round[node_id] += 1
+                simulator.emit_round_end(node_round[node_id] - 1, node_id, now)
+
+                global_round = min(node_round)
+                if global_round > simulator.result.rounds_completed:
+                    # One ByteMeter round per globally completed round, so
+                    # per_round_bytes keeps its per-round meaning under gossip.
+                    simulator.meter.end_round()
+                simulator.result.rounds_completed = global_round
+                due = (
+                    global_round % config.eval_every == 0
+                    or global_round == config.rounds
+                )
+                if global_round > evaluated_through and due:
+                    evaluated_through = global_round
+                    simulator.record_evaluation(
+                        global_round, float(np.mean(last_fraction)), now
+                    )
+                    if simulator.should_stop_at_target():
+                        loop.clear()
+                        break
+                if node_round[node_id] < config.rounds:
+                    loop.schedule(now, START_ROUND, node_id)
+
+            else:  # pragma: no cover - only the four kinds above are scheduled
+                raise SimulationError(f"unknown event kind {event.kind!r}")
+
+        simulator.result.simulated_time_seconds = float(max(node_clock))
+        simulator.result.per_node_time_seconds = [float(t) for t in node_clock]

@@ -1,0 +1,136 @@
+"""Typed events and the deterministic discrete-event loop.
+
+The asynchronous execution mode of the simulator is a classic discrete-event
+simulation: nodes react to scheduled events (start a round, finish training,
+receive a message, aggregate) instead of marching through a global barrier.
+Determinism is non-negotiable for a reproduction, so the :class:`EventLoop`
+orders events by the total key ``(time, seq, node_id)`` — ``seq`` is a
+monotonically increasing schedule counter, which makes the pop order of
+equal-time events exactly their scheduling order, independent of heap
+internals or hash randomization.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import SimulationError
+
+__all__ = [
+    "AGGREGATE",
+    "DELIVER_MESSAGE",
+    "Event",
+    "EventLoop",
+    "FINISH_TRAIN",
+    "START_ROUND",
+]
+
+#: A node begins a new round (training is about to start).
+START_ROUND = "start-round"
+#: A node's local SGD steps are done; it prepares and sends its message.
+FINISH_TRAIN = "finish-train"
+#: A message arrives at a receiver's inbox.
+DELIVER_MESSAGE = "deliver-message"
+#: A node drains its inbox and applies the aggregation rule.
+AGGREGATE = "aggregate"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled occurrence in the simulated deployment.
+
+    Attributes
+    ----------
+    time:
+        Simulated second at which the event fires.
+    kind:
+        One of the module-level event-kind constants (:data:`START_ROUND`,
+        :data:`FINISH_TRAIN`, :data:`DELIVER_MESSAGE`, :data:`AGGREGATE`) or
+        any user-defined string for custom execution modes.
+    node_id:
+        The node the event happens *at* (the receiver for deliveries).
+    seq:
+        Schedule-order sequence number assigned by the :class:`EventLoop`;
+        breaks ties between equal-time events deterministically.
+    data:
+        Optional event payload (e.g. the in-flight :class:`~repro.core.interface.Message`).
+    """
+
+    time: float
+    kind: str
+    node_id: int
+    seq: int = 0
+    data: dict[str, Any] | None = field(default=None, compare=False, repr=False)
+
+    @property
+    def sort_key(self) -> tuple[float, int, int]:
+        """The total order the event loop pops events in."""
+
+        return (self.time, self.seq, self.node_id)
+
+
+class EventLoop:
+    """Deterministic priority queue of :class:`Event` objects.
+
+    Events pop in ``(time, seq, node_id)`` order.  The loop tracks the
+    current simulated time (the time of the last popped event) and refuses
+    to schedule into the past, which would silently reorder causality.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[tuple[float, int, int], Event]] = []
+        self._seq = 0
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Simulated time of the most recently popped event."""
+
+        return self._now
+
+    def schedule(
+        self,
+        time: float,
+        kind: str,
+        node_id: int,
+        data: dict[str, Any] | None = None,
+    ) -> Event:
+        """Enqueue an event and return it."""
+
+        time = float(time)
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule {kind!r} at t={time:.6f}: the clock is already "
+                f"at t={self._now:.6f}"
+            )
+        event = Event(time=time, kind=str(kind), node_id=int(node_id), seq=self._seq, data=data)
+        self._seq += 1
+        heapq.heappush(self._heap, (event.sort_key, event))
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the next event, advancing the clock to it."""
+
+        if not self._heap:
+            raise SimulationError("pop from an empty event loop")
+        _, event = heapq.heappop(self._heap)
+        self._now = event.time
+        return event
+
+    def peek(self) -> Event | None:
+        """The next event without removing it, or ``None`` when empty."""
+
+        return self._heap[0][1] if self._heap else None
+
+    def clear(self) -> None:
+        """Drop all pending events (used by early-stop)."""
+
+        self._heap.clear()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

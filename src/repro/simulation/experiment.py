@@ -2,8 +2,11 @@
 
 A single :class:`ExperimentConfig` captures the deployment (number of nodes,
 topology, partitioning), the optimization hyperparameters (learning rate,
-local steps, batch size), the evaluation cadence and the optional
-target-accuracy early stop used by the "run until convergence" experiments.
+local steps, batch size), the evaluation cadence, the optional
+target-accuracy early stop used by the "run until convergence" experiments
+and — since the engine redesign — the execution mode: ``"sync"`` for the
+paper's lock-step rounds, ``"async"`` for event-driven gossip over
+heterogeneous nodes (see :mod:`repro.simulation.engine`).
 """
 
 from __future__ import annotations
@@ -11,9 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.exceptions import ConfigurationError
-from repro.simulation.timing import TimeModel
+from repro.simulation.timing import HeterogeneousTimeModel, TimeModel
 
-__all__ = ["ExperimentConfig"]
+__all__ = ["EXECUTION_MODES", "ExperimentConfig"]
+
+#: The execution modes the simulator engine ships with.
+EXECUTION_MODES = ("sync", "async")
 
 
 @dataclass(frozen=True)
@@ -42,6 +48,16 @@ class ExperimentConfig:
     stop_at_target: bool = False
     time_model: TimeModel = field(default_factory=TimeModel)
 
+    #: ``"sync"`` reproduces the paper's lock-step rounds; ``"async"`` runs the
+    #: event-driven gossip mode where each node progresses at its own speed.
+    execution: str = "sync"
+    #: Per-node compute slowdown range used by the async mode (stragglers).
+    compute_speed_range: tuple[float, float] = (1.0, 1.0)
+    #: Per-node uplink bandwidth scale range used by the async mode.
+    bandwidth_scale_range: tuple[float, float] = (1.0, 1.0)
+    #: Uniform extra per-delivery latency jitter used by the async mode.
+    link_latency_jitter_seconds: float = 0.0
+
     def __post_init__(self) -> None:
         if self.num_nodes < 2:
             raise ConfigurationError("a decentralized experiment needs at least two nodes")
@@ -51,15 +67,52 @@ class ExperimentConfig:
             raise ConfigurationError("rounds, local_steps and batch_size must be positive")
         if self.learning_rate <= 0:
             raise ConfigurationError("learning_rate must be positive")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ConfigurationError("momentum must be in [0, 1)")
         if self.eval_every <= 0:
             raise ConfigurationError("eval_every must be positive")
+        if self.eval_test_samples <= 0:
+            raise ConfigurationError("eval_test_samples must be positive")
         if self.partition not in {"auto", "shards", "clients", "iid"}:
             raise ConfigurationError(f"unknown partition scheme {self.partition!r}")
         if not 0.0 <= self.message_drop_probability < 1.0:
             raise ConfigurationError("message_drop_probability must be in [0, 1)")
         if self.stop_at_target and self.target_accuracy is None:
             raise ConfigurationError("stop_at_target requires a target_accuracy")
+        if self.execution not in EXECUTION_MODES:
+            raise ConfigurationError(
+                f"unknown execution mode {self.execution!r}; "
+                f"choose from {', '.join(EXECUTION_MODES)}"
+            )
+        # Constructing the heterogeneous model validates the ranges and the
+        # jitter once, in timing.py — the single source of truth.
+        self.resolved_time_model()
+        if self.execution == "async" and self.dynamic_topology:
+            raise ConfigurationError(
+                "the async execution mode supports static topologies only"
+            )
 
+    # -- derived views -------------------------------------------------------------
+    def resolved_time_model(self) -> HeterogeneousTimeModel:
+        """The heterogeneous time model the async engine runs on.
+
+        If :attr:`time_model` already is a :class:`HeterogeneousTimeModel` it
+        wins; otherwise the plain model is lifted using this configuration's
+        heterogeneity knobs.
+        """
+
+        if isinstance(self.time_model, HeterogeneousTimeModel):
+            return self.time_model
+        return HeterogeneousTimeModel(
+            compute_seconds_per_step=self.time_model.compute_seconds_per_step,
+            bandwidth_bytes_per_second=self.time_model.bandwidth_bytes_per_second,
+            latency_seconds=self.time_model.latency_seconds,
+            compute_speed_range=self.compute_speed_range,
+            bandwidth_scale_range=self.bandwidth_scale_range,
+            link_latency_jitter_seconds=self.link_latency_jitter_seconds,
+        )
+
+    # -- copy helpers -------------------------------------------------------------
     def with_rounds(self, rounds: int) -> "ExperimentConfig":
         """Copy of this configuration with a different round budget."""
 
@@ -74,3 +127,8 @@ class ExperimentConfig:
         """Copy of this configuration that stops when ``target_accuracy`` is reached."""
 
         return replace(self, target_accuracy=target_accuracy, stop_at_target=stop)
+
+    def with_execution(self, execution: str) -> "ExperimentConfig":
+        """Copy of this configuration running under a different execution mode."""
+
+        return replace(self, execution=execution)

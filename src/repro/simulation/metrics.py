@@ -46,6 +46,12 @@ class ExperimentResult:
     simulated_time_seconds: float = 0.0
     target_accuracy: float | None = None
     reached_target_at_round: int | None = None
+    #: Which execution mode produced the result (``"sync"`` or ``"async"``).
+    execution: str = "sync"
+    #: Local clock of every node when the run ended.  Under the synchronous
+    #: barrier all entries equal :attr:`simulated_time_seconds`; under the
+    #: asynchronous mode fast nodes finish earlier than stragglers.
+    per_node_time_seconds: list[float] = field(default_factory=list)
 
     # -- headline numbers ----------------------------------------------------------
     @property
@@ -65,6 +71,18 @@ class ExperimentResult:
     @property
     def average_bytes_per_node(self) -> float:
         return self.total_bytes / self.num_nodes if self.num_nodes else 0.0
+
+    @property
+    def clock_skew_seconds(self) -> float:
+        """Spread between the fastest and slowest node's final local clock.
+
+        Zero for synchronous runs (everyone shares the barrier clock); under
+        the asynchronous mode it quantifies how far stragglers fell behind.
+        """
+
+        if not self.per_node_time_seconds:
+            return 0.0
+        return float(max(self.per_node_time_seconds) - min(self.per_node_time_seconds))
 
     @property
     def total_gib(self) -> float:

@@ -1,113 +1,25 @@
-"""The decentralized-learning round scheduler.
+"""The one-call experiment facade.
 
 :func:`run_experiment` drives the train–communicate–aggregate loop of D-PSGD
 for any sharing scheme implementing the
-:class:`~repro.core.interface.SharingScheme` interface.  The loop follows the
-paper's setup: every node starts from a common initial model, performs its
-local SGD steps, exchanges one message with each neighbor of the (possibly
-dynamic) topology, aggregates with Metropolis–Hastings weights and moves to
-the next round.  Bytes and simulated wall-clock time are metered on the way.
+:class:`~repro.core.interface.SharingScheme` interface.  Since the engine
+redesign it is a thin wrapper over :class:`~repro.simulation.engine.Simulator`:
+it builds the engine from the configuration (which selects the execution mode,
+``"sync"`` lock-step rounds or ``"async"`` event-driven gossip) and runs it to
+completion.  Code that needs the engine's observer hooks or a custom
+:class:`~repro.simulation.engine.ExecutionMode` should construct the
+:class:`~repro.simulation.engine.Simulator` directly.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core.interface import Message, RoundContext, SchemeFactory
+from repro.core.interface import SchemeFactory
 from repro.datasets.base import LearningTask
-from repro.datasets.partition import partition_dataset
-from repro.exceptions import SimulationError
+from repro.simulation.engine import Simulator, build_nodes
 from repro.simulation.experiment import ExperimentConfig
-from repro.simulation.metrics import ExperimentResult, RoundRecord
-from repro.simulation.network import ByteMeter
-from repro.simulation.node import SimulationNode
-from repro.topology.graphs import Topology, random_regular_topology
-from repro.topology.weights import metropolis_hastings_weights
-from repro.utils.rng import SeedSequenceFactory
+from repro.simulation.metrics import ExperimentResult
 
 __all__ = ["build_nodes", "run_experiment"]
-
-
-def build_nodes(
-    task: LearningTask,
-    scheme_factory: SchemeFactory,
-    config: ExperimentConfig,
-) -> list[SimulationNode]:
-    """Create the simulation nodes: partitioned data, common initial model, schemes."""
-
-    seeds = SeedSequenceFactory(config.seed)
-    partition_rng = seeds.rng("partition")
-    partitions = partition_dataset(
-        task.train,
-        config.num_nodes,
-        partition_rng,
-        scheme=config.partition,
-        shards_per_node=config.shards_per_node,
-    )
-
-    # All nodes start from the same initial model (as in D-PSGD): build one
-    # reference model and copy its flat parameters into every node's model.
-    reference_model = task.make_model(seeds.rng("model-init"))
-    from repro.nn.module import get_flat_parameters  # local import avoids a cycle
-
-    initial_parameters = get_flat_parameters(reference_model)
-    model_size = initial_parameters.size
-
-    nodes: list[SimulationNode] = []
-    for node_id in range(config.num_nodes):
-        model = task.make_model(seeds.rng("model-init"))
-        scheme = scheme_factory(node_id, model_size, seeds.node_seed(node_id, "scheme"))
-        node = SimulationNode(
-            node_id=node_id,
-            dataset=partitions[node_id],
-            model=model,
-            loss=task.make_loss(),
-            scheme=scheme,
-            learning_rate=config.learning_rate,
-            batch_size=config.batch_size,
-            local_steps=config.local_steps,
-            rng=seeds.node_rng(node_id, "batches"),
-            momentum=config.momentum,
-        )
-        node.set_parameters(initial_parameters)
-        nodes.append(node)
-    return nodes
-
-
-def _evaluate(
-    nodes: list[SimulationNode],
-    task: LearningTask,
-    config: ExperimentConfig,
-    eval_rng: np.random.Generator,
-) -> tuple[float, float]:
-    """Average test loss and accuracy over (a sample of) the nodes."""
-
-    test = task.test
-    sample_size = min(config.eval_test_samples, len(test))
-    indices = eval_rng.choice(len(test), size=sample_size, replace=False)
-    inputs, targets = test.batch(indices)
-
-    if config.eval_nodes is None or config.eval_nodes >= len(nodes):
-        evaluated = nodes
-    else:
-        chosen = eval_rng.choice(len(nodes), size=config.eval_nodes, replace=False)
-        evaluated = [nodes[i] for i in chosen]
-
-    losses, accuracies = [], []
-    for node in evaluated:
-        loss, accuracy = node.evaluate(inputs, targets, task.accuracy_fn)
-        losses.append(loss)
-        accuracies.append(accuracy)
-    return float(np.mean(losses)), float(np.mean(accuracies))
-
-
-def _shared_fraction(message: Message, model_size: int) -> float:
-    """Approximate fraction of the model carried by ``message``."""
-
-    values = message.payload.get("values")
-    if values is None:
-        return 1.0
-    return min(1.0, np.asarray(values).size / max(1, model_size))
 
 
 def run_experiment(
@@ -118,118 +30,5 @@ def run_experiment(
 ) -> ExperimentResult:
     """Run one decentralized-learning experiment and return its metrics."""
 
-    seeds = SeedSequenceFactory(config.seed)
-    nodes = build_nodes(task, scheme_factory, config)
-    model_size = nodes[0].get_parameters().size
-
-    topology_rng = seeds.rng("topology")
-    topology: Topology = random_regular_topology(config.num_nodes, config.degree, topology_rng)
-    weights = metropolis_hastings_weights(topology)
-
-    meter = ByteMeter(config.num_nodes)
-    eval_rng = seeds.rng("evaluation")
-    drop_rng = seeds.rng("message-drops")
-    clock = 0.0
-
-    result = ExperimentResult(
-        scheme=scheme_name or nodes[0].scheme.name,
-        task=task.name,
-        num_nodes=config.num_nodes,
-        rounds_completed=0,
-        target_accuracy=config.target_accuracy,
-    )
-
-    def record_point(round_index: int, shared_fraction: float) -> None:
-        test_loss, test_accuracy = _evaluate(nodes, task, config, eval_rng)
-        train_loss = float(np.mean([node.last_train_loss for node in nodes]))
-        record = RoundRecord(
-            round_index=round_index,
-            test_accuracy=test_accuracy,
-            test_loss=test_loss,
-            train_loss=train_loss,
-            cumulative_bytes_per_node=meter.average_bytes_per_node,
-            cumulative_metadata_bytes_per_node=float(meter.metadata_bytes_per_node.mean()),
-            simulated_time_seconds=clock,
-            average_shared_fraction=shared_fraction,
-        )
-        result.history.append(record)
-        if (
-            config.target_accuracy is not None
-            and result.reached_target_at_round is None
-            and test_accuracy >= config.target_accuracy
-        ):
-            result.reached_target_at_round = round_index
-
-    for round_index in range(config.rounds):
-        if config.dynamic_topology and round_index > 0:
-            topology = random_regular_topology(config.num_nodes, config.degree, topology_rng)
-            weights = metropolis_hastings_weights(topology)
-
-        # -- train + prepare -----------------------------------------------------
-        contexts: list[RoundContext] = []
-        messages: list[Message] = []
-        for node in nodes:
-            params_start, params_trained = node.local_training()
-            neighbor_weights = {
-                neighbor: float(weights[node.node_id, neighbor])
-                for neighbor in topology.neighbors(node.node_id)
-            }
-            context = RoundContext(
-                round_index=round_index,
-                params_start=params_start,
-                params_trained=params_trained,
-                self_weight=float(weights[node.node_id, node.node_id]),
-                neighbor_weights=neighbor_weights,
-                rng=seeds.node_rng(node.node_id, "round", round_index),
-            )
-            message = node.scheme.prepare(context)
-            if message.sender != node.node_id:
-                raise SimulationError("a scheme produced a message with the wrong sender id")
-            meter.record_send(node.node_id, message.size, copies=len(neighbor_weights))
-            contexts.append(context)
-            messages.append(message)
-
-        # -- deliver + aggregate ---------------------------------------------------
-        round_fractions = [
-            _shared_fraction(message, model_size) for message in messages
-        ]
-        for node, context in zip(nodes, contexts):
-            inbox = [messages[neighbor] for neighbor in topology.neighbors(node.node_id)]
-            if config.message_drop_probability > 0.0:
-                # Lossy network / churn model: each delivery is independently
-                # dropped.  The sender's bytes were already metered (the data
-                # still left its uplink); the receiver simply never sees it.
-                inbox = [
-                    message
-                    for message in inbox
-                    if drop_rng.random() >= config.message_drop_probability
-                ]
-            new_params = node.scheme.aggregate(context, inbox)
-            node.scheme.finalize(context, new_params)
-            node.set_parameters(new_params)
-
-        # -- meter time and bytes -----------------------------------------------------
-        max_bytes = max(
-            message.size.total_bytes * len(topology.neighbors(message.sender))
-            for message in messages
-        )
-        clock += config.time_model.round_duration(config.local_steps, max_bytes)
-        meter.end_round()
-        result.rounds_completed = round_index + 1
-
-        # -- evaluate -------------------------------------------------------------------
-        is_last = round_index == config.rounds - 1
-        if (round_index + 1) % config.eval_every == 0 or is_last:
-            record_point(round_index + 1, float(np.mean(round_fractions)))
-            if (
-                config.stop_at_target
-                and config.target_accuracy is not None
-                and result.reached_target_at_round is not None
-            ):
-                break
-
-    result.total_bytes = meter.total_bytes
-    result.total_metadata_bytes = meter.total_metadata_bytes
-    result.total_values_bytes = meter.total_values_bytes
-    result.simulated_time_seconds = clock
-    return result
+    simulator = Simulator(task, scheme_factory, config, scheme_name=scheme_name)
+    return simulator.run()

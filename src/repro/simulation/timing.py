@@ -13,7 +13,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["TimeModel"]
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["HeterogeneousTimeModel", "TimeModel"]
 
 
 @dataclass(frozen=True)
@@ -37,11 +41,84 @@ class TimeModel:
     bandwidth_bytes_per_second: float = 10e6 / 8
     latency_seconds: float = 0.02
 
+    def compute_duration(self, local_steps: int) -> float:
+        """Time a reference node needs for ``local_steps`` local SGD steps."""
+
+        if local_steps < 0:
+            raise ValueError("local_steps must be non-negative")
+        return local_steps * self.compute_seconds_per_step
+
+    def transfer_duration(self, num_bytes: float) -> float:
+        """Time a reference node needs to push ``num_bytes`` on its uplink."""
+
+        if num_bytes < 0:
+            raise ValueError("bytes must be non-negative")
+        return num_bytes / self.bandwidth_bytes_per_second
+
     def round_duration(self, local_steps: int, max_bytes_sent_by_a_node: float) -> float:
         """Duration of one synchronous round."""
 
-        if local_steps < 0 or max_bytes_sent_by_a_node < 0:
-            raise ValueError("local_steps and bytes must be non-negative")
-        compute = local_steps * self.compute_seconds_per_step
-        communication = max_bytes_sent_by_a_node / self.bandwidth_bytes_per_second
+        compute = self.compute_duration(local_steps)
+        communication = self.transfer_duration(max_bytes_sent_by_a_node)
         return compute + communication + self.latency_seconds
+
+
+@dataclass(frozen=True)
+class HeterogeneousTimeModel(TimeModel):
+    """A :class:`TimeModel` whose nodes and links are not identical.
+
+    The asynchronous execution mode draws one compute-speed and one bandwidth
+    multiplier per node from the configured ranges, so slow nodes (stragglers)
+    fall behind fast ones instead of stalling a global barrier.  Per-link
+    latency gets an optional uniform jitter on top of the base
+    ``latency_seconds``.
+
+    Attributes
+    ----------
+    compute_speed_range:
+        ``(lo, hi)`` multipliers on :attr:`~TimeModel.compute_seconds_per_step`.
+        A node drawing ``2.0`` takes twice as long per SGD step; ``(1.0, 1.0)``
+        means a homogeneous cluster.
+    bandwidth_scale_range:
+        ``(lo, hi)`` multipliers on :attr:`~TimeModel.bandwidth_bytes_per_second`.
+        A node drawing ``0.5`` has half the uplink bandwidth.
+    link_latency_jitter_seconds:
+        Upper bound of the uniform extra latency added to every delivery.
+    """
+
+    compute_speed_range: tuple[float, float] = (1.0, 1.0)
+    bandwidth_scale_range: tuple[float, float] = (1.0, 1.0)
+    link_latency_jitter_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name, (lo, hi) in (
+            ("compute_speed_range", self.compute_speed_range),
+            ("bandwidth_scale_range", self.bandwidth_scale_range),
+        ):
+            if not 0.0 < lo <= hi:
+                raise ConfigurationError(f"{name} must satisfy 0 < lo <= hi, got ({lo}, {hi})")
+        if self.link_latency_jitter_seconds < 0.0:
+            raise ConfigurationError("link_latency_jitter_seconds must be non-negative")
+
+    def sample_compute_multipliers(
+        self, num_nodes: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-node slowdown factors on the compute time (``>= lo``)."""
+
+        lo, hi = self.compute_speed_range
+        return rng.uniform(lo, hi, size=num_nodes)
+
+    def sample_bandwidth_multipliers(
+        self, num_nodes: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-node scale factors on the uplink bandwidth."""
+
+        lo, hi = self.bandwidth_scale_range
+        return rng.uniform(lo, hi, size=num_nodes)
+
+    def sample_link_latency(self, rng: np.random.Generator) -> float:
+        """Latency of one delivery: the base latency plus uniform jitter."""
+
+        if self.link_latency_jitter_seconds == 0.0:
+            return self.latency_seconds
+        return self.latency_seconds + rng.uniform(0.0, self.link_latency_jitter_seconds)

@@ -1,0 +1,359 @@
+"""Tests for the Simulator engine: sync-mode equivalence and observer hooks.
+
+The equivalence tests pin the redesign's central promise: running the
+synchronous mode through the :func:`run_experiment` facade produces the
+*identical* :class:`ExperimentResult` (history, bytes, simulated time) as the
+seed repository's monolithic runner.  ``reference_run_experiment`` below is a
+literal port of that seed loop — including its payload-sniffing
+shared-fraction heuristic — kept here as the frozen reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import choco_factory, full_sharing_factory
+from repro.core import JwinsConfig, jwins_factory
+from repro.core.interface import Message, RoundContext
+from repro.exceptions import SimulationError
+from repro.simulation import (
+    AsynchronousMode,
+    ExperimentConfig,
+    SimulationObserver,
+    Simulator,
+    SynchronousMode,
+    run_experiment,
+)
+from repro.simulation.engine import build_nodes
+from repro.simulation.metrics import ExperimentResult, RoundRecord
+from repro.simulation.network import ByteMeter
+from repro.topology.graphs import random_regular_topology
+from repro.topology.weights import metropolis_hastings_weights
+from repro.utils.rng import SeedSequenceFactory
+from tests.conftest import make_toy_task
+
+
+# -- the frozen seed-runner reference ---------------------------------------------
+
+
+def _seed_shared_fraction(message: Message, model_size: int) -> float:
+    """The seed runner's payload-sniffing heuristic, preserved verbatim."""
+
+    values = message.payload.get("values")
+    if values is None:
+        return 1.0
+    return min(1.0, np.asarray(values).size / max(1, model_size))
+
+
+def _seed_evaluate(nodes, task, config, eval_rng):
+    test = task.test
+    sample_size = min(config.eval_test_samples, len(test))
+    indices = eval_rng.choice(len(test), size=sample_size, replace=False)
+    inputs, targets = test.batch(indices)
+    if config.eval_nodes is None or config.eval_nodes >= len(nodes):
+        evaluated = nodes
+    else:
+        chosen = eval_rng.choice(len(nodes), size=config.eval_nodes, replace=False)
+        evaluated = [nodes[i] for i in chosen]
+    losses, accuracies = [], []
+    for node in evaluated:
+        loss, accuracy = node.evaluate(inputs, targets, task.accuracy_fn)
+        losses.append(loss)
+        accuracies.append(accuracy)
+    return float(np.mean(losses)), float(np.mean(accuracies))
+
+
+def reference_run_experiment(task, scheme_factory, config, scheme_name=None):
+    """Literal port of the seed repository's monolithic ``run_experiment``."""
+
+    seeds = SeedSequenceFactory(config.seed)
+    nodes = build_nodes(task, scheme_factory, config)
+    model_size = nodes[0].get_parameters().size
+
+    topology_rng = seeds.rng("topology")
+    topology = random_regular_topology(config.num_nodes, config.degree, topology_rng)
+    weights = metropolis_hastings_weights(topology)
+
+    meter = ByteMeter(config.num_nodes)
+    eval_rng = seeds.rng("evaluation")
+    drop_rng = seeds.rng("message-drops")
+    clock = 0.0
+
+    result = ExperimentResult(
+        scheme=scheme_name or nodes[0].scheme.name,
+        task=task.name,
+        num_nodes=config.num_nodes,
+        rounds_completed=0,
+        target_accuracy=config.target_accuracy,
+    )
+
+    def record_point(round_index, shared_fraction):
+        test_loss, test_accuracy = _seed_evaluate(nodes, task, config, eval_rng)
+        train_loss = float(np.mean([node.last_train_loss for node in nodes]))
+        result.history.append(
+            RoundRecord(
+                round_index=round_index,
+                test_accuracy=test_accuracy,
+                test_loss=test_loss,
+                train_loss=train_loss,
+                cumulative_bytes_per_node=meter.average_bytes_per_node,
+                cumulative_metadata_bytes_per_node=float(meter.metadata_bytes_per_node.mean()),
+                simulated_time_seconds=clock,
+                average_shared_fraction=shared_fraction,
+            )
+        )
+        if (
+            config.target_accuracy is not None
+            and result.reached_target_at_round is None
+            and result.history[-1].test_accuracy >= config.target_accuracy
+        ):
+            result.reached_target_at_round = round_index
+
+    for round_index in range(config.rounds):
+        if config.dynamic_topology and round_index > 0:
+            topology = random_regular_topology(config.num_nodes, config.degree, topology_rng)
+            weights = metropolis_hastings_weights(topology)
+
+        contexts, messages = [], []
+        for node in nodes:
+            params_start, params_trained = node.local_training()
+            neighbor_weights = {
+                neighbor: float(weights[node.node_id, neighbor])
+                for neighbor in topology.neighbors(node.node_id)
+            }
+            context = RoundContext(
+                round_index=round_index,
+                params_start=params_start,
+                params_trained=params_trained,
+                self_weight=float(weights[node.node_id, node.node_id]),
+                neighbor_weights=neighbor_weights,
+                rng=seeds.node_rng(node.node_id, "round", round_index),
+            )
+            message = node.scheme.prepare(context)
+            meter.record_send(node.node_id, message.size, copies=len(neighbor_weights))
+            contexts.append(context)
+            messages.append(message)
+
+        round_fractions = [_seed_shared_fraction(m, model_size) for m in messages]
+        for node, context in zip(nodes, contexts):
+            inbox = [messages[neighbor] for neighbor in topology.neighbors(node.node_id)]
+            if config.message_drop_probability > 0.0:
+                inbox = [
+                    m for m in inbox if drop_rng.random() >= config.message_drop_probability
+                ]
+            new_params = node.scheme.aggregate(context, inbox)
+            node.scheme.finalize(context, new_params)
+            node.set_parameters(new_params)
+
+        max_bytes = max(
+            m.size.total_bytes * len(topology.neighbors(m.sender)) for m in messages
+        )
+        clock += config.time_model.round_duration(config.local_steps, max_bytes)
+        meter.end_round()
+        result.rounds_completed = round_index + 1
+
+        is_last = round_index == config.rounds - 1
+        if (round_index + 1) % config.eval_every == 0 or is_last:
+            record_point(round_index + 1, float(np.mean(round_fractions)))
+            if (
+                config.stop_at_target
+                and config.target_accuracy is not None
+                and result.reached_target_at_round is not None
+            ):
+                break
+
+    result.total_bytes = meter.total_bytes
+    result.total_metadata_bytes = meter.total_metadata_bytes
+    result.total_values_bytes = meter.total_values_bytes
+    result.simulated_time_seconds = clock
+    return result
+
+
+REGRESSION_CONFIG = ExperimentConfig(
+    num_nodes=6,
+    degree=2,
+    rounds=6,
+    local_steps=1,
+    batch_size=8,
+    learning_rate=0.1,
+    eval_every=2,
+    eval_test_samples=48,
+    seed=3,
+    partition="shards",
+)
+
+
+@pytest.mark.parametrize(
+    "scheme_name, factory_builder",
+    [
+        ("jwins", lambda: jwins_factory(JwinsConfig.paper_default())),
+        ("choco", lambda: choco_factory(fraction=0.2)),
+    ],
+)
+def test_sync_mode_reproduces_the_seed_runner_exactly(scheme_name, factory_builder):
+    reference = reference_run_experiment(
+        make_toy_task(), factory_builder(), REGRESSION_CONFIG, scheme_name=scheme_name
+    )
+    current = run_experiment(
+        make_toy_task(), factory_builder(), REGRESSION_CONFIG, scheme_name=scheme_name
+    )
+    assert current.history == reference.history
+    assert current.total_bytes == reference.total_bytes
+    assert current.total_metadata_bytes == reference.total_metadata_bytes
+    assert current.total_values_bytes == reference.total_values_bytes
+    assert current.simulated_time_seconds == reference.simulated_time_seconds
+    assert current.rounds_completed == reference.rounds_completed
+    assert current.reached_target_at_round == reference.reached_target_at_round
+
+
+def test_sync_mode_equivalence_holds_under_message_drops():
+    from dataclasses import replace
+
+    config = replace(REGRESSION_CONFIG, message_drop_probability=0.2)
+    reference = reference_run_experiment(make_toy_task(), full_sharing_factory(), config)
+    current = run_experiment(make_toy_task(), full_sharing_factory(), config)
+    assert current.history == reference.history
+    assert current.total_bytes == reference.total_bytes
+    assert current.simulated_time_seconds == reference.simulated_time_seconds
+
+
+# -- engine surface ---------------------------------------------------------------
+
+
+def test_simulator_mode_follows_config(toy_task, small_config):
+    sync = Simulator(toy_task, full_sharing_factory(), small_config)
+    assert isinstance(sync.mode, SynchronousMode)
+    async_sim = Simulator(
+        toy_task, full_sharing_factory(), small_config.with_execution("async")
+    )
+    assert isinstance(async_sim.mode, AsynchronousMode)
+
+
+def test_simulator_is_single_shot(toy_task, small_config):
+    simulator = Simulator(toy_task, full_sharing_factory(), small_config)
+    simulator.run()
+    with pytest.raises(SimulationError):
+        simulator.run()
+
+
+def test_sync_result_reports_execution_and_zero_skew(toy_task, small_config):
+    result = run_experiment(toy_task, full_sharing_factory(), small_config)
+    assert result.execution == "sync"
+    assert len(result.per_node_time_seconds) == small_config.num_nodes
+    assert result.clock_skew_seconds == 0.0
+    assert all(t == result.simulated_time_seconds for t in result.per_node_time_seconds)
+
+
+def test_callback_hooks_fire(toy_task, small_config):
+    simulator = Simulator(toy_task, full_sharing_factory(), small_config)
+    rounds, deliveries, evaluations = [], [], []
+    simulator.on_round_end(lambda round_index, node_id, now: rounds.append((round_index, node_id)))
+    simulator.on_message(lambda message, receiver, now: deliveries.append((message.sender, receiver)))
+    simulator.on_evaluate(lambda record: evaluations.append(record))
+    result = simulator.run()
+
+    assert [r for r, _ in rounds] == list(range(small_config.rounds))
+    assert all(node_id is None for _, node_id in rounds)  # global barrier rounds
+    # Every node receives one message per neighbor per round (no drops configured).
+    expected = small_config.rounds * sum(
+        len(simulator.topology.neighbors(n)) for n in range(small_config.num_nodes)
+    )
+    assert len(deliveries) == expected
+    assert evaluations == result.history
+
+
+def test_observer_object_receives_all_hooks(toy_task, small_config):
+    class Recorder(SimulationObserver):
+        def __init__(self):
+            self.rounds = 0
+            self.messages = 0
+            self.records = 0
+
+        def on_round_end(self, round_index, node_id, now):
+            self.rounds += 1
+
+        def on_message(self, message, receiver, now):
+            self.messages += 1
+
+        def on_evaluate(self, record):
+            self.records += 1
+
+    recorder = Recorder()
+    simulator = Simulator(toy_task, full_sharing_factory(), small_config)
+    simulator.add_observer(recorder)
+    result = simulator.run()
+    assert recorder.rounds == small_config.rounds
+    assert recorder.records == len(result.history)
+    assert recorder.messages > 0
+
+
+def test_observers_do_not_perturb_the_run(toy_task, small_config):
+    plain = run_experiment(make_toy_task(), full_sharing_factory(), small_config)
+    observed_sim = Simulator(make_toy_task(), full_sharing_factory(), small_config)
+    observed_sim.add_observer(SimulationObserver())
+    observed = observed_sim.run()
+    assert observed.history == plain.history
+    assert observed.total_bytes == plain.total_bytes
+
+
+# -- explicit shared_fraction (replaces the payload sniffing) ---------------------
+
+
+def test_message_shared_fraction_defaults_to_full_model():
+    message = Message(sender=0, kind="anything", payload={})
+    assert message.shared_fraction == 1.0
+
+
+def test_schemes_fill_shared_fraction(toy_task, small_config):
+    nodes = build_nodes(toy_task, jwins_factory(JwinsConfig.paper_default()), small_config)
+    node = nodes[0]
+    params_start, params_trained = node.local_training()
+    context = RoundContext(
+        round_index=0,
+        params_start=params_start,
+        params_trained=params_trained,
+        self_weight=0.5,
+        neighbor_weights={1: 0.5},
+        rng=np.random.default_rng(0),
+    )
+    message = node.scheme.prepare(context)
+    assert 0.0 < message.shared_fraction <= 1.0
+    # JWINS reports the values it actually packed, relative to the model size.
+    expected = min(1.0, message.payload["values"].size / context.model_size)
+    assert message.shared_fraction == expected
+
+
+def test_full_sharing_reports_fraction_one(toy_task, small_config):
+    nodes = build_nodes(toy_task, full_sharing_factory(), small_config)
+    node = nodes[0]
+    params_start, params_trained = node.local_training()
+    context = RoundContext(
+        round_index=0,
+        params_start=params_start,
+        params_trained=params_trained,
+        self_weight=0.5,
+        neighbor_weights={1: 0.5},
+        rng=np.random.default_rng(0),
+    )
+    assert node.scheme.prepare(context).shared_fraction == 1.0
+
+
+def test_round_context_carries_now_and_node_id(toy_task, small_config):
+    seen = []
+
+    class Spy(SimulationObserver):
+        pass
+
+    simulator = Simulator(toy_task, full_sharing_factory(), small_config)
+    original = simulator.make_context
+
+    def capture(node, round_index, params_start, params_trained, now):
+        context = original(node, round_index, params_start, params_trained, now)
+        seen.append((context.node_id, context.now))
+        return context
+
+    simulator.make_context = capture
+    simulator.run()
+    assert all(node_id >= 0 for node_id, _ in seen)
+    assert seen[0][1] == 0.0  # the first round happens at t=0

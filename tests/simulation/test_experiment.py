@@ -25,11 +25,27 @@ def test_defaults_are_valid():
         {"eval_every": 0},
         {"partition": "bogus"},
         {"stop_at_target": True},
+        {"momentum": -0.1},
+        {"momentum": 1.0},
+        {"momentum": 1.5},
+        {"eval_test_samples": 0},
+        {"eval_test_samples": -5},
+        {"execution": "bogus"},
+        {"compute_speed_range": (0.0, 2.0)},
+        {"compute_speed_range": (3.0, 2.0)},
+        {"bandwidth_scale_range": (-1.0, 1.0)},
+        {"link_latency_jitter_seconds": -0.1},
+        {"execution": "async", "dynamic_topology": True},
     ],
 )
 def test_invalid_configurations_raise(kwargs):
     with pytest.raises(ConfigurationError):
         ExperimentConfig(**kwargs)
+
+
+def test_momentum_boundaries_are_valid():
+    assert ExperimentConfig(momentum=0.0).momentum == 0.0
+    assert ExperimentConfig(momentum=0.99).momentum == 0.99
 
 
 def test_with_rounds_and_seed_return_copies():
@@ -44,3 +60,35 @@ def test_with_target_enables_stop():
     config = ExperimentConfig().with_target(0.8)
     assert config.target_accuracy == 0.8
     assert config.stop_at_target
+
+
+def test_with_execution_switches_mode_and_validates():
+    config = ExperimentConfig()
+    assert config.execution == "sync"
+    async_config = config.with_execution("async")
+    assert async_config.execution == "async" and config.execution == "sync"
+    with pytest.raises(ConfigurationError):
+        config.with_execution("turbo")
+
+
+def test_resolved_time_model_lifts_heterogeneity_knobs():
+    from repro.simulation.timing import HeterogeneousTimeModel, TimeModel
+
+    config = ExperimentConfig(
+        compute_speed_range=(1.0, 3.0),
+        bandwidth_scale_range=(0.25, 1.0),
+        link_latency_jitter_seconds=0.01,
+    )
+    model = config.resolved_time_model()
+    assert isinstance(model, HeterogeneousTimeModel)
+    assert model.compute_speed_range == (1.0, 3.0)
+    assert model.bandwidth_scale_range == (0.25, 1.0)
+    assert model.compute_seconds_per_step == TimeModel().compute_seconds_per_step
+
+
+def test_resolved_time_model_prefers_an_explicit_heterogeneous_model():
+    from repro.simulation.timing import HeterogeneousTimeModel
+
+    explicit = HeterogeneousTimeModel(compute_speed_range=(1.0, 8.0))
+    config = ExperimentConfig(time_model=explicit, compute_speed_range=(1.0, 2.0))
+    assert config.resolved_time_model() is explicit

@@ -63,6 +63,49 @@ def test_main_runs_small_experiment(capsys):
     assert "final acc" in captured
 
 
+def test_parser_accepts_execution_mode():
+    args = build_parser().parse_args(["--execution", "async", "--slowdown", "3.0"])
+    assert args.execution == "async"
+    assert args.slowdown == 3.0
+
+
+def test_invalid_slowdown_rejected():
+    with pytest.raises(SystemExit):
+        main(["--slowdown", "0.5", "--nodes", "4", "--rounds", "1"])
+
+
+def test_invalid_drop_probability_rejected():
+    with pytest.raises(SystemExit):
+        main(["--drop-probability", "1.5", "--nodes", "4", "--rounds", "1"])
+
+
+def test_main_runs_async_experiment(capsys):
+    exit_code = main(
+        [
+            "--workload",
+            "movielens",
+            "--scheme",
+            "jwins",
+            "--nodes",
+            "4",
+            "--degree",
+            "2",
+            "--rounds",
+            "2",
+            "--seed",
+            "3",
+            "--execution",
+            "async",
+            "--slowdown",
+            "4.0",
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "execution=async" in captured
+    assert "running jwins" in captured
+
+
 def test_main_compares_multiple_schemes(capsys):
     exit_code = main(
         [
