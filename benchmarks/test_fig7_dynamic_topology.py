@@ -5,55 +5,39 @@ full sharing on a dynamic topology beats full sharing on a static one, and
 JWINS on a dynamic topology performs at least as well as static full sharing.
 CHOCO is unsuitable for dynamic topologies (its error-feedback state assumes
 fixed neighbors) and is reported separately.
+
+Since the orchestration subsystem landed, the grid (three schemes x
+{static, dynamic}) runs as the declarative ``fig7_sweep`` and the report comes
+from the same ``render_fig7`` layer that ``jwins-repro regenerate`` uses.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-
-from benchmarks.conftest import save_report, scale_down
-from repro.baselines import choco_factory, full_sharing_factory
-from repro.core import JwinsConfig, jwins_factory
-from repro.evaluation import format_table, get_workload
-from repro.simulation import run_experiment
+from benchmarks.conftest import save_report
+from repro.orchestration import ResultStore, fig7_sweep, render_fig7, run_sweep
 
 
 def _run():
-    workload = get_workload("cifar10")
-    task = workload.make_task(seed=3)
-    static = scale_down(workload.config, num_nodes=8, degree=2, rounds=16, eval_every=4)
-    dynamic = replace(static, dynamic_topology=True)
-    return {
-        "full-sharing static": run_experiment(
-            task, full_sharing_factory(), static, scheme_name="full-sharing static"
-        ),
-        "full-sharing dynamic": run_experiment(
-            task, full_sharing_factory(), dynamic, scheme_name="full-sharing dynamic"
-        ),
-        "jwins dynamic": run_experiment(
-            task, jwins_factory(JwinsConfig.paper_default()), dynamic, scheme_name="jwins dynamic"
-        ),
-        "choco dynamic": run_experiment(
-            task, choco_factory(0.2, 0.6), dynamic, scheme_name="choco dynamic"
-        ),
+    store = ResultStore()
+    sweep = fig7_sweep()
+    run_sweep(sweep, store)
+    results = {
+        (cell.scheme.label, cell.axes["dynamic_topology"]): store.get(cell.spec)
+        for cell in sweep.cells()
     }
+    report = render_fig7(store)["fig7_dynamic_topology"]
+    return results, report
 
 
 def test_fig7_dynamic_topology(benchmark):
-    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    results, report = benchmark.pedantic(_run, rounds=1, iterations=1)
 
-    rows = [
-        [name, f"{100 * result.final_accuracy:.1f}%", f"{result.final_loss:.3f}"]
-        for name, result in results.items()
-    ]
-    report = format_table(["configuration", "final acc", "test loss"], rows)
-    report += "\npaper: dynamic > static for full sharing; JWINS dynamic >= static full sharing; CHOCO unsuitable"
     save_report("fig7_dynamic_topology", report)
 
-    static_full = results["full-sharing static"]
-    dynamic_full = results["full-sharing dynamic"]
-    dynamic_jwins = results["jwins dynamic"]
-    dynamic_choco = results["choco dynamic"]
+    static_full = results[("full-sharing", False)]
+    dynamic_full = results[("full-sharing", True)]
+    dynamic_jwins = results[("jwins", True)]
+    dynamic_choco = results[("choco", True)]
 
     # Dynamic topologies mix at least as well as static ones for full sharing.
     assert dynamic_full.final_accuracy >= static_full.final_accuracy - 0.05

@@ -5,64 +5,36 @@ Paper result (96 nodes): JWINS matches full sharing within ~3% accuracy on
 every dataset while beating random sampling by 2-15% and sending ~60-65% fewer
 bytes than full sharing.  At simulator scale the absolute accuracies differ,
 but the ordering (full ≈ JWINS > random sampling) and the byte savings hold.
+
+Since the orchestration subsystem landed, this benchmark runs each dataset's
+grid as a declarative sweep (``table1_sweep``) and renders the report through
+the same ``render_table1`` layer that ``jwins-repro regenerate`` uses — the
+benchmark and the CLI regenerate identical artifacts from identical cells.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import save_report, scale_down
-from repro.baselines import full_sharing_factory, random_sampling_factory
-from repro.core import JwinsConfig, jwins_factory
-from repro.evaluation import format_table, get_workload, table1_rows
-from repro.simulation import run_experiment
+from benchmarks.conftest import save_report
+from repro.orchestration import ResultStore, render_table1, run_sweep, table1_sweep
 
 WORKLOAD_NAMES = ("cifar10", "movielens", "shakespeare", "celeba", "femnist")
 
-HEADERS = [
-    "dataset",
-    "full acc",
-    "random acc",
-    "jwins acc",
-    "full sent",
-    "jwins sent",
-    "savings",
-    "paper savings",
-]
-
 
 def _run_workload(name: str):
-    workload = get_workload(name)
-    task = workload.make_task(seed=1)
-    config = scale_down(workload.config, num_nodes=8, rounds=16, eval_every=4)
-    factories = {
-        "full-sharing": full_sharing_factory(),
-        "random-sampling": random_sampling_factory(0.37),
-        "jwins": jwins_factory(JwinsConfig.paper_default()),
-    }
-    return workload, {
-        scheme: run_experiment(task, factory, config, scheme_name=scheme)
-        for scheme, factory in factories.items()
-    }
+    store = ResultStore()
+    sweep = table1_sweep(workloads=(name,))
+    run_sweep(sweep, store)
+    results = {cell.scheme.label: store.get(cell.spec) for cell in sweep.cells()}
+    report = render_table1(store, workloads=(name,))[f"table1_fig4_{name}"]
+    return results, report
 
 
 @pytest.mark.parametrize("name", WORKLOAD_NAMES)
 def test_table1_fig4_per_dataset(benchmark, name):
-    workload, results = benchmark.pedantic(_run_workload, args=(name,), rounds=1, iterations=1)
+    results, report = benchmark.pedantic(_run_workload, args=(name,), rounds=1, iterations=1)
 
-    row = table1_rows(name, results, workload.paper.network_savings_percent)
-    report = format_table(HEADERS, [row])
-    curves = []
-    for scheme, result in results.items():
-        rounds, accuracy = result.accuracy_curve()
-        curve = ", ".join(f"{r}:{100 * a:.0f}%" for r, a in zip(rounds, accuracy))
-        curves.append(f"  {scheme:16s} {curve}")
-    report += "\n\nFigure 4 accuracy curves (round:accuracy):\n" + "\n".join(curves)
-    report += (
-        f"\n\nmetadata sent by JWINS: "
-        f"{results['jwins'].total_metadata_bytes / 2**20:.2f} MiB "
-        f"({100 * results['jwins'].total_metadata_bytes / results['jwins'].total_bytes:.1f}% of its traffic)"
-    )
     save_report(f"table1_fig4_{name}", report)
 
     full = results["full-sharing"]

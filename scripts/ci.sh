@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Continuous-integration entry point: byte-compile everything, run the tier-1
-# suite (tests + benchmark harness) and finish with a fast end-to-end smoke of
-# the asynchronous gossip execution mode.
+# suite (tests + benchmark harness), smoke the asynchronous gossip execution
+# mode and finish with a tiny orchestration sweep exercised serially, in
+# parallel and resumed from its store.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,5 +16,16 @@ python -m pytest -x -q
 
 echo "== async gossip smoke benchmark =="
 python examples/async_gossip.py --smoke
+
+echo "== orchestration sweep smoke (2 cells: 1 worker, 2 workers, resume) =="
+SWEEP_DIR="$(mktemp -d)"
+trap 'rm -rf "$SWEEP_DIR"' EXIT
+SWEEP_ARGS=(--workload movielens --scheme jwins full-sharing
+            --nodes 4 --degree 2 --rounds 2 --seeds 3)
+python -m repro.cli sweep "${SWEEP_ARGS[@]}" --store "$SWEEP_DIR/serial.jsonl" --workers 1
+python -m repro.cli sweep "${SWEEP_ARGS[@]}" --store "$SWEEP_DIR/parallel.jsonl" --workers 2
+# Resuming against the serial store must skip both completed cells.
+RESUME_OUTPUT="$(python -m repro.cli sweep "${SWEEP_ARGS[@]}" --store "$SWEEP_DIR/serial.jsonl" --workers 2)"
+grep -q "executed 0 cell(s), skipped 2" <<<"$RESUME_OUTPUT"
 
 echo "CI OK"

@@ -9,6 +9,9 @@ This library reproduces "Get More for Less in Decentralized Learning Systems"
   engine with pluggable execution modes (synchronous lock-step rounds and
   asynchronous gossip over heterogeneous nodes) plus the
   :func:`~repro.simulation.run_experiment` one-call facade;
+* :mod:`repro.orchestration` — declarative experiment sweeps executed on a
+  ``multiprocessing`` worker pool against a resumable, content-addressed JSONL
+  result store, plus regeneration of the paper's artifacts from such a store;
 * :mod:`repro.datasets` — the five synthetic workloads and non-IID partitioners;
 * :mod:`repro.nn` — the numpy neural-network substrate;
 * :mod:`repro.wavelets`, :mod:`repro.compression`, :mod:`repro.topology`,
@@ -41,6 +44,17 @@ pick an execution mode and attach observers without editing any loop::
     print(result.clock_skew_seconds)   # how far stragglers fell behind
 
 See ``examples/async_gossip.py`` for a runnable side-by-side comparison.
+
+Grids of experiments (the paper's tables and figures) run as declarative
+sweeps on a worker pool, with every completed cell persisted and resumable::
+
+    from repro.orchestration import ResultStore, run_sweep, table1_sweep, regenerate
+
+    store = ResultStore("results/table1.jsonl")
+    run_sweep(table1_sweep(), store, workers=4)   # interrupt and re-run freely
+    regenerate(store, "benchmarks/output", names=["table1"])
+
+See ``examples/parallel_sweep.py`` and the README's EXPERIMENTS section.
 """
 
 from repro.version import __version__

@@ -1,75 +1,81 @@
 """Command-line interface for running decentralized-learning experiments.
 
-Installed as the ``jwins-repro`` console script (see ``pyproject.toml``); also
-runnable as ``python -m repro.cli``.  Example::
+Installed as the ``jwins-repro`` console script; also runnable as
+``python -m repro.cli``.  Three subcommands::
 
-    jwins-repro --workload cifar10 --scheme jwins full-sharing --nodes 8 --rounds 16
+    jwins-repro run --workload cifar10 --scheme jwins full-sharing --nodes 8
+    jwins-repro sweep --preset table1 --store results/table1.jsonl --workers 4
+    jwins-repro regenerate --store results/table1.jsonl --artifact table1
 
-The CLI wires together the workload registry, the scheme factories and the
-simulator, then prints a comparison table — a command-line version of what
-``examples/cifar_noniid_comparison.py`` does in code.
+``run`` executes one flat comparison (the historical behaviour — invoking the
+CLI without a subcommand still defaults to it, so ``jwins-repro --workload
+cifar10`` keeps working).  ``sweep`` expands a declarative grid — a preset from
+:mod:`repro.orchestration.artifacts` or an ad-hoc workload x scheme x seed
+product — and executes it on a worker pool against a resumable JSONL store.
+``regenerate`` re-emits the paper artifacts from such a store without
+recomputing anything.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Callable, Sequence
 
-from repro.baselines import (
-    choco_factory,
-    full_sharing_factory,
-    quantized_sharing_factory,
-    random_sampling_factory,
-    topk_sharing_factory,
-)
-from repro.core import JwinsConfig, adaptive_jwins_factory, jwins_factory
 from repro.core.interface import SchemeFactory
-from repro.evaluation import get_workload, summarize_results
-from repro.exceptions import ConfigurationError
+from repro.evaluation import WORKLOADS, get_workload, summarize_results
+from repro.exceptions import ConfigurationError, ReproError
+from repro.orchestration import (
+    ARTIFACTS,
+    ResultStore,
+    SchemeSpec,
+    Sweep,
+    SweepObserver,
+    available_schemes,
+    build_scheme_factory,
+    describe_schemes,
+    get_artifact,
+    regenerate,
+    run_sweep,
+)
 from repro.simulation import run_experiment
 from repro.version import __version__
 
-__all__ = ["build_parser", "main", "scheme_factory_from_name"]
+__all__ = ["build_cli_parser", "build_parser", "main", "scheme_factory_from_name"]
 
-SCHEME_CHOICES = (
-    "jwins",
-    "jwins-adaptive",
-    "full-sharing",
-    "random-sampling",
-    "topk",
-    "choco",
-    "quantized",
-)
+SCHEME_CHOICES = available_schemes()
+
+SUBCOMMANDS = ("run", "sweep", "regenerate")
+
+
+def _scheme_params_from_args(name: str, args: argparse.Namespace) -> dict:
+    """The registry parameters a ``run``/``sweep`` invocation implies."""
+
+    params: dict = {}
+    if name in ("jwins", "jwins-adaptive"):
+        if args.budget is not None:
+            params["budget"] = args.budget
+    elif name in ("random-sampling", "topk"):
+        params["fraction"] = args.fraction
+    elif name == "choco":
+        params["fraction"] = args.budget or args.fraction
+        params["gamma"] = args.gamma
+    elif name == "quantized":
+        params["bits"] = args.bits
+    return params
 
 
 def scheme_factory_from_name(name: str, args: argparse.Namespace) -> SchemeFactory:
     """Translate a CLI scheme name into a configured scheme factory."""
 
-    jwins_config = (
-        JwinsConfig.low_budget(args.budget) if args.budget else JwinsConfig.paper_default()
-    )
-    builders: dict[str, Callable[[], SchemeFactory]] = {
-        "jwins": lambda: jwins_factory(jwins_config),
-        "jwins-adaptive": lambda: adaptive_jwins_factory(jwins_config),
-        "full-sharing": lambda: full_sharing_factory(),
-        "random-sampling": lambda: random_sampling_factory(args.fraction),
-        "topk": lambda: topk_sharing_factory(args.fraction),
-        "choco": lambda: choco_factory(
-            fraction=args.budget or args.fraction, gamma=args.gamma
-        ),
-        "quantized": lambda: quantized_sharing_factory(bits=args.bits),
-    }
-    if name not in builders:
+    if name not in SCHEME_CHOICES:
         raise SystemExit(f"unknown scheme {name!r}; choose from {', '.join(SCHEME_CHOICES)}")
-    return builders[name]()
+    return build_scheme_factory(name, _scheme_params_from_args(name, args))
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="jwins-repro",
-        description="Run decentralized-learning experiments from the JWINS reproduction.",
-    )
-    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    """The flat experiment flags shared by ``run`` and the ad-hoc ``sweep``."""
+
     parser.add_argument(
         "--workload",
         default="cifar10",
@@ -125,13 +131,185 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="probability that each message delivery is independently dropped",
     )
+    parser.add_argument(
+        "--list-workloads",
+        action="store_true",
+        help="print the workload registry and exit",
+    )
+    parser.add_argument(
+        "--list-schemes",
+        action="store_true",
+        help="print the scheme registry and exit",
+    )
+    parser.add_argument("--version", action="version", version=f"jwins-repro {__version__}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The flat ``run`` parser (kept for programmatic/backwards-compatible use)."""
+
+    parser = argparse.ArgumentParser(
+        prog="jwins-repro",
+        description="Run decentralized-learning experiments from the JWINS reproduction.",
+    )
+    _add_run_arguments(parser)
     return parser
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+def build_cli_parser() -> argparse.ArgumentParser:
+    """The full subcommand parser: ``run`` (default), ``sweep``, ``regenerate``."""
 
-    args = build_parser().parse_args(argv)
+    parser = argparse.ArgumentParser(
+        prog="jwins-repro",
+        description="Run decentralized-learning experiments from the JWINS reproduction.",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one flat scheme comparison (the default subcommand)"
+    )
+    _add_run_arguments(run_parser)
+    run_parser.set_defaults(handler=_run_command)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="expand a declarative experiment grid and execute it on a worker pool",
+    )
+    sweep_parser.add_argument(
+        "--preset",
+        choices=tuple(ARTIFACTS),
+        default=None,
+        help="run a predefined artifact grid instead of an ad-hoc one",
+    )
+    sweep_parser.add_argument(
+        "--workload",
+        nargs="+",
+        default=["cifar10"],
+        help="workload axis of an ad-hoc sweep",
+    )
+    sweep_parser.add_argument(
+        "--scheme",
+        nargs="+",
+        default=["jwins", "full-sharing"],
+        choices=SCHEME_CHOICES,
+        help="scheme axis of an ad-hoc sweep",
+    )
+    sweep_parser.add_argument(
+        "--seeds",
+        nargs="+",
+        type=int,
+        default=None,
+        help="seed axis (repetitions) of an ad-hoc sweep",
+    )
+    sweep_parser.add_argument("--nodes", type=int, default=None, help="number of DL nodes")
+    sweep_parser.add_argument("--degree", type=int, default=None, help="topology degree")
+    sweep_parser.add_argument("--rounds", type=int, default=None, help="communication rounds")
+    sweep_parser.add_argument(
+        "--budget", type=float, default=None, help="JWINS/CHOCO communication budget"
+    )
+    sweep_parser.add_argument(
+        "--fraction", type=float, default=0.37, help="random-sampling/topk fraction"
+    )
+    sweep_parser.add_argument("--gamma", type=float, default=0.6, help="CHOCO step size")
+    sweep_parser.add_argument("--bits", type=int, default=4, help="quantized baseline bits")
+    sweep_parser.add_argument(
+        "--store",
+        default="sweep-results.jsonl",
+        help="JSONL result store; completed cells found here are skipped (resume)",
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = in-process)"
+    )
+    sweep_parser.add_argument(
+        "--force",
+        action="store_true",
+        help="re-execute cells even when the store already holds them",
+    )
+    sweep_parser.add_argument(
+        "--scale",
+        nargs="+",
+        default=None,
+        metavar="FIELD=VALUE",
+        help="config overrides applied to every cell, e.g. `--scale num_nodes=4 "
+        "rounds=2` (shrinks a preset for smoke runs; regenerate needs the same "
+        "--scale to find the cells)",
+    )
+    sweep_parser.set_defaults(handler=_sweep_command)
+
+    regen_parser = subparsers.add_parser(
+        "regenerate",
+        help="re-emit the paper artifacts from a result store without recomputing",
+    )
+    regen_parser.add_argument(
+        "--store", required=True, help="JSONL result store produced by `sweep`"
+    )
+    regen_parser.add_argument(
+        "--artifact",
+        nargs="+",
+        choices=tuple(ARTIFACTS),
+        default=None,
+        help="artifacts to re-emit (default: all)",
+    )
+    regen_parser.add_argument(
+        "--output",
+        default="benchmarks/output",
+        help="directory the artifact files are written to",
+    )
+    regen_parser.add_argument(
+        "--scale",
+        nargs="+",
+        default=None,
+        metavar="FIELD=VALUE",
+        help="the same config overrides the sweep ran with (content hashes must match)",
+    )
+    regen_parser.set_defaults(handler=_regenerate_command)
+    return parser
+
+
+def _parse_scale(entries: Sequence[str] | None) -> dict | None:
+    """Parse ``--scale num_nodes=4 rounds=2`` pairs into an override mapping."""
+
+    if entries is None:
+        return None
+    scale: dict = {}
+    for entry in entries:
+        field, separator, raw = entry.partition("=")
+        if not separator or not field:
+            raise SystemExit(f"--scale entries must look like FIELD=VALUE, got {entry!r}")
+        if raw.lower() in ("true", "false"):
+            value: object = raw.lower() == "true"
+        else:
+            try:
+                value = float(raw) if "." in raw or "e" in raw.lower() else int(raw)
+            except ValueError:
+                value = raw
+        scale[field] = value
+    return scale
+
+
+# -- subcommand handlers ---------------------------------------------------------------
+def _handle_list_flags(args: argparse.Namespace) -> bool:
+    """Print the requested registries; returns True when the CLI should exit 0."""
+
+    listed = False
+    if getattr(args, "list_workloads", False):
+        rows = [
+            [name, workload.config.partition, workload.description]
+            for name, workload in WORKLOADS.items()
+        ]
+        width = max(len(name) for name, _, _ in rows)
+        for name, partition, description in rows:
+            print(f"{name:{width}s}  partition={partition:8s}  {description}")
+        listed = True
+    if getattr(args, "list_schemes", False):
+        print(describe_schemes())
+        listed = True
+    return listed
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    if _handle_list_flags(args):
+        return 0
     if args.budget is not None and not 0.0 < args.budget <= 1.0:
         raise SystemExit("--budget must be in (0, 1]")
     if args.slowdown < 1.0:
@@ -171,6 +349,125 @@ def main(argv: Sequence[str] | None = None) -> int:
     print()
     print(summarize_results(results))
     return 0
+
+
+class _PrintingObserver(SweepObserver):
+    """Progress lines for the ``sweep`` subcommand.
+
+    ``on_start`` fires at submission time, which in pool mode means every
+    pending cell at once — so per-cell "running" lines are only printed for
+    serial runs, where submission and execution coincide.
+    """
+
+    def __init__(self, announce_starts: bool = True) -> None:
+        self.announce_starts = announce_starts
+
+    def on_skip(self, spec, result) -> None:
+        print(f"skipping {spec.label} (stored, acc={100 * result.final_accuracy:.1f}%)")
+
+    def on_start(self, spec) -> None:
+        if self.announce_starts:
+            print(f"running {spec.label} ...")
+
+    def on_result(self, spec, result) -> None:
+        print(f"finished {spec.label}: acc={100 * result.final_accuracy:.1f}%")
+
+
+def _build_adhoc_sweep(args: argparse.Namespace) -> Sweep:
+    schemes = tuple(
+        SchemeSpec(name, _scheme_params_from_args(name, args), label=name)
+        for name in args.scheme
+    )
+    base_overrides: dict = {}
+    if args.nodes is not None:
+        base_overrides["num_nodes"] = args.nodes
+    if args.degree is not None:
+        base_overrides["degree"] = args.degree
+    if args.rounds is not None:
+        base_overrides["rounds"] = args.rounds
+    axes: dict = {}
+    if args.seeds is not None:
+        axes["seed"] = tuple(args.seeds)
+    return Sweep(
+        name="adhoc",
+        workloads=tuple(args.workload),
+        schemes=schemes,
+        axes=axes,
+        base_overrides=base_overrides,
+    )
+
+
+def _sweep_command(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    scale = _parse_scale(args.scale)
+    try:
+        if args.preset is not None:
+            sweep = get_artifact(args.preset).build_sweep(scale)
+        else:
+            sweep = _build_adhoc_sweep(args)
+            if scale:
+                sweep = Sweep(
+                    name=sweep.name,
+                    workloads=sweep.workloads,
+                    schemes=sweep.schemes,
+                    axes=sweep.axes,
+                    base_overrides={**sweep.base_overrides, **scale},
+                )
+        sweep.cells()  # validate workloads/schemes/overrides before executing
+    except ConfigurationError as error:
+        raise SystemExit(f"invalid sweep: {error}")
+
+    store = ResultStore(args.store)
+    print(
+        f"sweep={sweep.name} cells={len(sweep)} store={args.store} "
+        f"workers={args.workers} (stored: {len(store)})"
+    )
+    try:
+        outcome = run_sweep(
+            sweep,
+            store,
+            workers=args.workers,
+            observer=_PrintingObserver(announce_starts=args.workers == 1),
+            force=args.force,
+        )
+    except ConfigurationError as error:
+        # e.g. an unknown --scale field, which only surfaces when a cell's
+        # configuration is materialized.
+        raise SystemExit(f"invalid sweep: {error}")
+    print()
+    print(f"executed {len(outcome.executed)} cell(s), skipped {len(outcome.skipped)}")
+    print(summarize_results(outcome.labelled_results()))
+    return 0
+
+
+def _regenerate_command(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if len(store) == 0:
+        raise SystemExit(f"store {args.store!r} is empty or missing; run `jwins-repro sweep` first")
+    try:
+        written = regenerate(
+            store, args.output, names=args.artifact, scale=_parse_scale(args.scale)
+        )
+    except ReproError as error:
+        raise SystemExit(f"cannot regenerate: {error}")
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        argv = ["run"]
+    elif argv[0] not in SUBCOMMANDS and argv[0] not in ("-h", "--help", "--version"):
+        # Backwards compatibility: a flat invocation defaults to `run`.
+        argv = ["run", *argv]
+    args = build_cli_parser().parse_args(argv)
+    handler: Callable[[argparse.Namespace], int] = args.handler
+    return handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the console script

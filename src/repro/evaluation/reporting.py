@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping, Sequence
 
 from repro.compression.sizing import format_bytes
+from repro.exceptions import ConfigurationError
 from repro.simulation.metrics import ExperimentResult
 
 __all__ = ["format_table", "summarize_results", "table1_rows"]
@@ -39,9 +40,17 @@ def table1_rows(
     """One Table I row: accuracies, data sent and the network savings of JWINS.
 
     ``results`` must contain the keys ``"full-sharing"``, ``"random-sampling"``
-    and ``"jwins"``.
+    and ``"jwins"``; a missing scheme raises
+    :class:`~repro.exceptions.ConfigurationError` naming the absent key(s).
     """
 
+    required = ("full-sharing", "random-sampling", "jwins")
+    missing = [key for key in required if key not in results]
+    if missing:
+        raise ConfigurationError(
+            f"table1_rows needs results for {', '.join(required)}; "
+            f"missing: {', '.join(missing)}"
+        )
     full = results["full-sharing"]
     random_sampling = results["random-sampling"]
     jwins = results["jwins"]

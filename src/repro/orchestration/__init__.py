@@ -1,0 +1,78 @@
+"""Experiment orchestration: declarative sweeps, a worker pool and resumable stores.
+
+The paper's results are grids — {dataset x scheme x topology x cutoff x codec}
+— and this package is the layer that runs such grids as one unit instead of
+hand-rolled loops:
+
+* :mod:`repro.orchestration.schemes` — the declarative scheme registry
+  (``name + params -> SchemeFactory``) and :class:`SchemeSpec`;
+* :mod:`repro.orchestration.spec` — :class:`ExperimentSpec`, the serializable,
+  content-hashed unit of work with deterministic per-spec seeding;
+* :mod:`repro.orchestration.sweep` — :class:`Sweep`, named axes over
+  workloads/schemes/config overrides, expanded into specs;
+* :mod:`repro.orchestration.store` — :class:`ResultStore`, append-only JSONL
+  keyed by spec content hash (resume + invalidation for free);
+* :mod:`repro.orchestration.pool` — :func:`run_sweep` on one process or a
+  ``multiprocessing`` pool, with :class:`SweepObserver` progress hooks;
+* :mod:`repro.orchestration.artifacts` — regenerating the paper's tables and
+  figure series (Table I, Figures 6/7) from a store.
+
+Typical use::
+
+    from repro.orchestration import ResultStore, run_sweep, table1_sweep, regenerate
+
+    store = ResultStore("results/table1.jsonl")
+    run_sweep(table1_sweep(), store, workers=4)   # resumes if interrupted
+    regenerate(store, "benchmarks/output", names=["table1"])
+"""
+
+from repro.orchestration.artifacts import (
+    ARTIFACTS,
+    Artifact,
+    TABLE1_WORKLOADS,
+    fig6_sweep,
+    fig7_sweep,
+    get_artifact,
+    regenerate,
+    render_fig6,
+    render_fig7,
+    render_table1,
+    table1_sweep,
+)
+from repro.orchestration.pool import SweepObserver, SweepOutcome, run_sweep
+from repro.orchestration.schemes import (
+    SCHEME_REGISTRY,
+    SchemeSpec,
+    available_schemes,
+    build_scheme_factory,
+    describe_schemes,
+)
+from repro.orchestration.spec import ExperimentSpec
+from repro.orchestration.store import ResultStore
+from repro.orchestration.sweep import Sweep, SweepCell
+
+__all__ = [
+    "ARTIFACTS",
+    "Artifact",
+    "ExperimentSpec",
+    "ResultStore",
+    "SCHEME_REGISTRY",
+    "SchemeSpec",
+    "Sweep",
+    "SweepCell",
+    "SweepObserver",
+    "SweepOutcome",
+    "TABLE1_WORKLOADS",
+    "available_schemes",
+    "build_scheme_factory",
+    "describe_schemes",
+    "fig6_sweep",
+    "fig7_sweep",
+    "get_artifact",
+    "regenerate",
+    "render_fig6",
+    "render_fig7",
+    "render_table1",
+    "run_sweep",
+    "table1_sweep",
+]

@@ -1,0 +1,323 @@
+"""Regenerating the paper's artifacts from a result store.
+
+Each :class:`Artifact` couples a sweep definition (which cells are needed) with
+a renderer that maps the stored results through :mod:`repro.evaluation.reporting`
+into the exact report text the benchmark harness writes to
+``benchmarks/output/``.  Regeneration is therefore a pure function of the
+store: run the sweep once (``jwins-repro sweep --preset table1``), then re-emit
+the tables/series any number of times (``jwins-repro regenerate``) without
+recomputing anything.
+
+The default cell scale matches the benchmark harness (8 nodes, ~16 rounds), so
+a store filled by the benchmarks and one filled by the CLI are interchangeable.
+Every builder/renderer takes an optional ``scale`` override mapping so tests
+can shrink the grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.evaluation.reporting import format_table, table1_rows
+from repro.evaluation.workloads import get_workload
+from repro.exceptions import ConfigurationError
+from repro.orchestration.schemes import SchemeSpec
+from repro.orchestration.store import ResultStore
+from repro.orchestration.sweep import Sweep, SweepCell
+from repro.simulation import ExperimentResult
+
+__all__ = [
+    "ARTIFACTS",
+    "Artifact",
+    "TABLE1_WORKLOADS",
+    "fig6_sweep",
+    "fig7_sweep",
+    "get_artifact",
+    "regenerate",
+    "render_fig6",
+    "render_fig7",
+    "render_table1",
+    "table1_sweep",
+]
+
+TABLE1_WORKLOADS = ("cifar10", "movielens", "shakespeare", "celeba", "femnist")
+
+#: The benchmark harness' simulator scale (see ``benchmarks/conftest.scale_down``).
+_TABLE1_SCALE = {
+    "num_nodes": 8,
+    "degree": 4,
+    "rounds": 16,
+    "eval_every": 4,
+    "eval_test_samples": 128,
+    "seed": 1,
+}
+
+TABLE1_HEADERS = [
+    "dataset",
+    "full acc",
+    "random acc",
+    "jwins acc",
+    "full sent",
+    "jwins sent",
+    "savings",
+    "paper savings",
+]
+
+
+def _merge_scale(base: Mapping[str, Any], scale: Mapping[str, Any] | None) -> dict[str, Any]:
+    return {**base, **(scale or {})}
+
+
+def _require(store: ResultStore, cell: SweepCell, artifact: str) -> ExperimentResult:
+    result = store.get(cell.spec)
+    if result is None:
+        raise ConfigurationError(
+            f"the store holds no result for cell {cell.label!r} "
+            f"(key {cell.spec.content_hash()[:12]}...); "
+            f"run `jwins-repro sweep --preset {artifact}` against this store first"
+        )
+    return result
+
+
+# -- Table I / Figure 4 ---------------------------------------------------------------
+def table1_sweep(
+    workloads: Sequence[str] = TABLE1_WORKLOADS,
+    scale: Mapping[str, Any] | None = None,
+) -> Sweep:
+    """The Table I grid: every workload x {full sharing, random sampling, JWINS}."""
+
+    return Sweep(
+        name="table1",
+        workloads=tuple(workloads),
+        schemes=(
+            SchemeSpec("full-sharing"),
+            SchemeSpec("random-sampling", {"fraction": 0.37}, label="random-sampling"),
+            SchemeSpec("jwins"),
+        ),
+        base_overrides=_merge_scale(_TABLE1_SCALE, scale),
+    )
+
+
+def render_table1(
+    store: ResultStore,
+    workloads: Sequence[str] = TABLE1_WORKLOADS,
+    scale: Mapping[str, Any] | None = None,
+) -> dict[str, str]:
+    """Per-dataset Table I rows plus the Figure 4 accuracy series.
+
+    Returns ``{file stem: report text}``, one entry per workload
+    (``table1_fig4_<dataset>``), in the exact shape the benchmark harness
+    stores under ``benchmarks/output/``.
+    """
+
+    reports: dict[str, str] = {}
+    for name in workloads:
+        sweep = table1_sweep(workloads=(name,), scale=scale)
+        results = {
+            cell.scheme.label: _require(store, cell, "table1") for cell in sweep.cells()
+        }
+        workload = get_workload(name)
+        row = table1_rows(name, results, workload.paper.network_savings_percent)
+        report = format_table(TABLE1_HEADERS, [row])
+        curves = []
+        for scheme, result in results.items():
+            rounds, accuracy = result.accuracy_curve()
+            curve = ", ".join(f"{r}:{100 * a:.0f}%" for r, a in zip(rounds, accuracy))
+            curves.append(f"  {scheme:16s} {curve}")
+        report += "\n\nFigure 4 accuracy curves (round:accuracy):\n" + "\n".join(curves)
+        jwins = results["jwins"]
+        report += (
+            f"\n\nmetadata sent by JWINS: "
+            f"{jwins.total_metadata_bytes / 2**20:.2f} MiB "
+            f"({100 * jwins.total_metadata_bytes / jwins.total_bytes:.1f}% of its traffic)"
+        )
+        reports[f"table1_fig4_{name}"] = report
+    return reports
+
+
+# -- Figure 6: JWINS vs CHOCO under communication budgets ------------------------------
+_FIG6_SCALE = {
+    "num_nodes": 8,
+    "degree": 4,
+    "rounds": 18,
+    "eval_every": 3,
+    "eval_test_samples": 128,
+    "seed": 1,
+}
+
+#: CHOCO's consensus step size needs per-budget tuning (paper Section IV-D).
+_FIG6_BUDGETS = ((0.2, 0.6), (0.1, 0.1))
+
+
+def fig6_sweep(scale: Mapping[str, Any] | None = None) -> Sweep:
+    """The Figure 6 cells: full sharing plus {JWINS, CHOCO} x {20%, 10%} budgets."""
+
+    schemes: list[SchemeSpec] = [SchemeSpec("full-sharing")]
+    for budget, gamma in _FIG6_BUDGETS:
+        percent = int(100 * budget)
+        schemes.append(
+            SchemeSpec("jwins", {"budget": budget}, label=f"jwins@{percent}%")
+        )
+        schemes.append(
+            SchemeSpec(
+                "choco", {"fraction": budget, "gamma": gamma}, label=f"choco@{percent}%"
+            )
+        )
+    return Sweep(
+        name="fig6",
+        workloads=("cifar10",),
+        schemes=tuple(schemes),
+        base_overrides=_merge_scale(_FIG6_SCALE, scale),
+        task_seed=2,
+    )
+
+
+def render_fig6(
+    store: ResultStore, scale: Mapping[str, Any] | None = None
+) -> dict[str, str]:
+    """The Figure 6 budget comparison, one row per (budget, scheme) series."""
+
+    sweep = fig6_sweep(scale=scale)
+    results = {
+        cell.scheme.label: _require(store, cell, "fig6") for cell in sweep.cells()
+    }
+    rows = []
+    for label, result in results.items():
+        budget = "100% (reference)" if label == "full-sharing" else label.split("@")[1]
+        scheme = label.split("@")[0]
+        rows.append(
+            [
+                budget,
+                scheme,
+                f"{100 * result.final_accuracy:.1f}%",
+                f"{result.final_loss:.3f}",
+                f"{result.average_bytes_per_node / 2**20:.2f} MiB",
+                f"{result.simulated_time_seconds:.1f} s",
+            ]
+        )
+    report = format_table(
+        ["budget", "scheme", "final acc", "test loss", "bytes/node", "sim. time"], rows
+    )
+    report += (
+        "\npaper: JWINS >= CHOCO at both budgets, with the gap growing as the budget shrinks"
+    )
+    return {"fig6_jwins_vs_choco": report}
+
+
+# -- Figure 7: dynamic topologies ------------------------------------------------------
+_FIG7_SCALE = {
+    "num_nodes": 8,
+    "degree": 2,
+    "rounds": 16,
+    "eval_every": 4,
+    "eval_test_samples": 128,
+    "seed": 1,
+}
+
+
+def fig7_sweep(scale: Mapping[str, Any] | None = None) -> Sweep:
+    """The Figure 7 grid: three schemes x {static, dynamic} topologies."""
+
+    return Sweep(
+        name="fig7",
+        workloads=("cifar10",),
+        schemes=(
+            SchemeSpec("full-sharing"),
+            SchemeSpec("jwins"),
+            SchemeSpec("choco", {"fraction": 0.2, "gamma": 0.6}, label="choco"),
+        ),
+        axes={"dynamic_topology": (False, True)},
+        base_overrides=_merge_scale(_FIG7_SCALE, scale),
+        task_seed=3,
+    )
+
+
+def render_fig7(
+    store: ResultStore, scale: Mapping[str, Any] | None = None
+) -> dict[str, str]:
+    """The Figure 7 static-vs-dynamic comparison table."""
+
+    sweep = fig7_sweep(scale=scale)
+    rows = []
+    for cell in sweep.cells():
+        result = _require(store, cell, "fig7")
+        kind = "dynamic" if cell.axes["dynamic_topology"] else "static"
+        rows.append(
+            [
+                f"{cell.scheme.label} {kind}",
+                f"{100 * result.final_accuracy:.1f}%",
+                f"{result.final_loss:.3f}",
+            ]
+        )
+    report = format_table(["configuration", "final acc", "test loss"], rows)
+    report += "\npaper: dynamic > static for full sharing; JWINS dynamic >= static full sharing; CHOCO unsuitable"
+    return {"fig7_dynamic_topology": report}
+
+
+# -- registry --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Artifact:
+    """A regenerable paper artifact: its sweep plus its renderer."""
+
+    name: str
+    description: str
+    build_sweep: Callable[[Mapping[str, Any] | None], Sweep]
+    render: Callable[[ResultStore, Mapping[str, Any] | None], dict[str, str]]
+
+
+ARTIFACTS: dict[str, Artifact] = {
+    "table1": Artifact(
+        name="table1",
+        description="Table I accuracies/bytes + Figure 4 series, all five workloads",
+        build_sweep=lambda scale=None: table1_sweep(scale=scale),
+        render=lambda store, scale=None: render_table1(store, scale=scale),
+    ),
+    "fig6": Artifact(
+        name="fig6",
+        description="Figure 6: JWINS vs CHOCO under 20%/10% communication budgets",
+        build_sweep=fig6_sweep,
+        render=render_fig6,
+    ),
+    "fig7": Artifact(
+        name="fig7",
+        description="Figure 7: static vs dynamically re-sampled topologies",
+        build_sweep=fig7_sweep,
+        render=render_fig7,
+    ),
+}
+
+
+def get_artifact(name: str) -> Artifact:
+    artifact = ARTIFACTS.get(name)
+    if artifact is None:
+        raise ConfigurationError(
+            f"unknown artifact {name!r}; available: {', '.join(ARTIFACTS)}"
+        )
+    return artifact
+
+
+def regenerate(
+    store: ResultStore,
+    output_dir: str | Path,
+    names: Sequence[str] | None = None,
+    scale: Mapping[str, Any] | None = None,
+) -> list[Path]:
+    """Re-emit the named artifacts (default: all) from ``store`` into files.
+
+    Returns the written paths (``<output_dir>/<stem>.txt``).  Raises
+    :class:`~repro.exceptions.ConfigurationError` if the store is missing any
+    required cell, naming the cell and the sweep preset that produces it.
+    """
+
+    output = Path(output_dir)
+    output.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for name in names if names is not None else list(ARTIFACTS):
+        artifact = get_artifact(name)
+        for stem, text in artifact.render(store, scale).items():
+            path = output / f"{stem}.txt"
+            path.write_text(text + "\n", encoding="utf-8")
+            written.append(path)
+    return written

@@ -1,0 +1,177 @@
+"""Sweep execution: serial or on a ``multiprocessing`` worker pool.
+
+:func:`run_sweep` expands a :class:`~repro.orchestration.sweep.Sweep` (or takes
+pre-expanded specs), skips every cell whose content hash is already in the
+:class:`~repro.orchestration.store.ResultStore` (resume), and executes the
+remainder — in-process when ``workers == 1``, on a process pool otherwise.
+
+Determinism does not depend on the worker count: each cell is an
+:class:`~repro.orchestration.spec.ExperimentSpec` that carries its own seed and
+is rebuilt from its serialized form inside the worker, so a 2-worker run
+produces bit-identical results to a serial run (pinned by a test).
+
+Progress is observable through :class:`SweepObserver` hooks — the resume
+acceptance test counts executed specs exactly this way, and the CLI uses the
+same hooks for its progress lines.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.orchestration.spec import ExperimentSpec
+from repro.orchestration.store import ResultStore
+from repro.orchestration.sweep import Sweep
+from repro.simulation import ExperimentResult
+
+__all__ = ["SweepObserver", "SweepOutcome", "run_sweep"]
+
+
+class SweepObserver:
+    """Progress hooks; override any subset (mirrors ``SimulationObserver``)."""
+
+    def on_skip(self, spec: ExperimentSpec, result: ExperimentResult) -> None:
+        """``spec`` was found in the store and will not be re-executed."""
+
+    def on_start(self, spec: ExperimentSpec) -> None:
+        """``spec`` was submitted for execution.
+
+        Under serial execution (``workers == 1``) submission and execution
+        coincide, so this fires immediately before the cell runs.  Under pool
+        execution every pending cell is submitted up front, so this fires for
+        all of them before the first result arrives — do not use start->result
+        spans to time individual cells in pool mode.
+        """
+
+    def on_result(self, spec: ExperimentSpec, result: ExperimentResult) -> None:
+        """``spec`` finished executing and its result was persisted."""
+
+
+@dataclass
+class SweepOutcome:
+    """Everything a caller needs after a sweep ran.
+
+    ``results`` covers every requested spec (stored *and* freshly executed),
+    keyed by content hash; ``executed``/``skipped`` partition the *unique*
+    specs by whether this invocation actually ran them (duplicate cells — the
+    same content hash appearing twice in one sweep — execute once and appear
+    once).
+    """
+
+    name: str
+    specs: list[ExperimentSpec]
+    results: dict[str, ExperimentResult] = field(default_factory=dict)
+    executed: list[ExperimentSpec] = field(default_factory=list)
+    skipped: list[ExperimentSpec] = field(default_factory=list)
+    #: Content hash -> human-readable cell label (axis values included when the
+    #: sweep declared axes, so labels are unique within one sweep).
+    labels: dict[str, str] = field(default_factory=dict)
+
+    def result_for(self, spec: ExperimentSpec) -> ExperimentResult:
+        return self.results[spec.content_hash()]
+
+    def labelled_results(self) -> dict[str, ExperimentResult]:
+        """``{cell label: result}`` for every requested spec, in sweep order."""
+
+        return {
+            self.labels[spec.content_hash()]: self.results[spec.content_hash()]
+            for spec in self.specs
+        }
+
+
+def _execute_spec(spec_dict: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+    """Worker entry point: rebuild the spec, run it, ship the result as a dict."""
+
+    spec = ExperimentSpec.from_dict(spec_dict)
+    return spec.content_hash(), spec.run().to_dict()
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork is cheapest where available (Linux); spawn everywhere else.  Either
+    # way the worker rebuilds everything from the serialized spec, so the
+    # start method cannot influence results.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_sweep(
+    sweep: Sweep | Sequence[ExperimentSpec],
+    store: ResultStore | None = None,
+    workers: int = 1,
+    observer: SweepObserver | None = None,
+    force: bool = False,
+) -> SweepOutcome:
+    """Execute every cell of ``sweep`` that the store does not already hold.
+
+    Parameters
+    ----------
+    sweep:
+        A :class:`Sweep` or an explicit spec list.
+    store:
+        Completed-cell persistence; defaults to a fresh in-memory store (no
+        resume between calls, but the outcome still carries every result).
+    workers:
+        Process count; ``1`` executes in-process (fully synchronous, exception
+        transparent), ``>= 2`` uses a ``multiprocessing`` pool.
+    observer:
+        Optional :class:`SweepObserver` receiving skip/start/result events.
+    force:
+        Re-execute cells even when the store already holds them (the fresh
+        result overwrites the stored one).
+    """
+
+    if isinstance(sweep, Sweep):
+        cells = sweep.cells()
+        name, specs = sweep.name, [cell.spec for cell in cells]
+        labels = {cell.spec.content_hash(): cell.label for cell in cells}
+    else:
+        name, specs = "adhoc", list(sweep)
+        labels = {spec.content_hash(): spec.label for spec in specs}
+    if store is None:
+        store = ResultStore()
+    if observer is None:
+        observer = SweepObserver()
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+
+    outcome = SweepOutcome(name=name, specs=specs, labels=labels)
+    pending: list[ExperimentSpec] = []
+    pending_keys: set[str] = set()
+    for spec in specs:
+        key = spec.content_hash()
+        if key in pending_keys:
+            # Duplicate cell (e.g. a repeated seed axis value): execute once,
+            # the shared results entry serves every occurrence.
+            continue
+        stored = None if force else store.get(spec)
+        if stored is not None:
+            outcome.results[key] = stored
+            outcome.skipped.append(spec)
+            observer.on_skip(spec, stored)
+        else:
+            pending.append(spec)
+            pending_keys.add(key)
+
+    def record(spec: ExperimentSpec, result_dict: dict[str, Any]) -> None:
+        store.put(spec, result_dict)
+        result = ExperimentResult.from_dict(result_dict)
+        outcome.results[spec.content_hash()] = result
+        outcome.executed.append(spec)
+        observer.on_result(spec, result)
+
+    if workers == 1 or len(pending) <= 1:
+        for spec in pending:
+            observer.on_start(spec)
+            record(spec, spec.run().to_dict())
+    else:
+        by_key = {spec.content_hash(): spec for spec in pending}
+        with _pool_context().Pool(processes=min(workers, len(pending))) as pool:
+            for spec in pending:
+                observer.on_start(spec)
+            for key, result_dict in pool.imap(
+                _execute_spec, [spec.to_dict() for spec in pending]
+            ):
+                record(by_key[key], result_dict)
+    return outcome

@@ -1,0 +1,160 @@
+"""The unit of work the orchestration layer schedules: one experiment cell.
+
+An :class:`ExperimentSpec` is a *declarative* description of one
+``run_experiment`` call: a workload name, a scheme reference (registry name +
+parameters) and a set of :class:`~repro.simulation.ExperimentConfig` field
+overrides.  It is JSON-serializable both ways, so it can cross a
+``multiprocessing`` boundary, live in a JSONL store and be rebuilt later.
+
+Two properties make resumable sweeps work:
+
+* :meth:`ExperimentSpec.content_hash` — a SHA-256 over the canonical JSON of
+  the spec.  It is the store key: re-running a sweep skips cells whose hash is
+  already stored, and any config change yields a fresh hash (automatic
+  invalidation).
+* :meth:`ExperimentSpec.resolved_seed` — deterministic per-spec seeding.  An
+  explicit ``seed`` override wins; otherwise the seed is derived from the
+  content hash, so distinct cells decorrelate while every re-run (serial or
+  parallel, any worker count) sees the identical seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.interface import SchemeFactory
+from repro.datasets.base import LearningTask
+from repro.evaluation.workloads import Workload, get_workload
+from repro.exceptions import ConfigurationError
+from repro.orchestration.schemes import SchemeSpec
+from repro.simulation import ExperimentConfig, ExperimentResult, run_experiment
+from repro.simulation.timing import time_model_from_dict
+
+__all__ = ["ExperimentSpec"]
+
+
+def _jsonify(value: Any) -> Any:
+    """Normalize ``value`` to the JSON type system (tuples become lists)."""
+
+    if isinstance(value, Mapping):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise ConfigurationError(
+        f"override value {value!r} is not JSON-serializable; "
+        "sweep overrides must be plain numbers, strings, booleans, lists or mappings"
+    )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One cell of a sweep: ``(workload, scheme, config overrides)``.
+
+    Attributes
+    ----------
+    workload:
+        Name in :data:`~repro.evaluation.workloads.WORKLOADS`.
+    scheme:
+        The scheme to run, as a serializable :class:`SchemeSpec`.
+    overrides:
+        :class:`~repro.simulation.ExperimentConfig` field overrides applied on
+        top of the workload's default configuration (JSON values only; the
+        tuple-typed fields and a nested ``time_model`` dict are coerced back
+        when the config is built).
+    task_seed:
+        Seed for the dataset/task construction.  ``None`` (the default) ties
+        it to the experiment seed, matching ``run_experiment`` call sites that
+        build the task with the config's seed.
+    """
+
+    workload: str
+    scheme: SchemeSpec
+    overrides: dict[str, Any] = field(default_factory=dict)
+    task_seed: int | None = None
+
+    def __post_init__(self) -> None:
+        get_workload(self.workload)  # fail fast on typos
+        object.__setattr__(self, "scheme", SchemeSpec.coerce(self.scheme))
+        # Canonicalize overrides so hashing is insensitive to tuple-vs-list
+        # and the spec equals its own JSON round trip.
+        object.__setattr__(self, "overrides", _jsonify(dict(self.overrides)))
+
+    # -- identity ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation; exact inverse of :meth:`from_dict`."""
+
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme.to_dict(),
+            "overrides": dict(self.overrides),
+            "task_seed": self.task_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        return cls(
+            workload=data["workload"],
+            scheme=SchemeSpec.from_dict(data["scheme"]),
+            overrides=dict(data.get("overrides", {})),
+            task_seed=data.get("task_seed"),
+        )
+
+    def canonical_json(self) -> str:
+        """Canonical serialization: sorted keys, no whitespace."""
+
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical_json` — the store key."""
+
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    @property
+    def label(self) -> str:
+        """Short human-readable cell name used in logs and summaries."""
+
+        return f"{self.workload}/{self.scheme.label}"
+
+    # -- seeding -------------------------------------------------------------------
+    def resolved_seed(self) -> int:
+        """The experiment seed this spec runs under (see the module docstring)."""
+
+        if "seed" in self.overrides:
+            return int(self.overrides["seed"])
+        return int(self.content_hash()[:8], 16) % (2**31 - 1) + 1
+
+    def resolved_task_seed(self) -> int:
+        return self.task_seed if self.task_seed is not None else self.resolved_seed()
+
+    # -- materialization -----------------------------------------------------------
+    def build(self) -> tuple[LearningTask, SchemeFactory, ExperimentConfig, Workload]:
+        """Materialize the task, scheme factory and validated configuration."""
+
+        workload = get_workload(self.workload)
+        overrides = dict(self.overrides)
+        overrides["seed"] = self.resolved_seed()
+        if isinstance(overrides.get("time_model"), Mapping):
+            overrides["time_model"] = time_model_from_dict(overrides["time_model"])
+        for name in ExperimentConfig._TUPLE_FIELDS:
+            if name in overrides:
+                overrides[name] = tuple(overrides[name])
+        execution = overrides.pop("execution", workload.config.execution)
+        try:
+            config = workload.make_config(execution=execution, **overrides)
+        except TypeError as error:
+            raise ConfigurationError(
+                f"invalid override for spec {self.label!r}: {error}"
+            ) from error
+        task = workload.make_task(seed=self.resolved_task_seed())
+        return task, self.scheme.build(), config, workload
+
+    def run(self) -> ExperimentResult:
+        """Execute this cell and return its result."""
+
+        task, factory, config, _ = self.build()
+        return run_experiment(task, factory, config, scheme_name=self.scheme.label)

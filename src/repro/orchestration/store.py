@@ -1,0 +1,118 @@
+"""Append-only JSONL store of experiment results, keyed by spec content hash.
+
+One line per completed run::
+
+    {"key": "<sha256 of the spec>", "spec": {...}, "result": {...}}
+
+Append-only writes make interruption safe: a sweep killed mid-run leaves at
+worst one truncated final line, which :meth:`ResultStore._load` discards, and
+every completed cell before it survives.  Looking a spec up by content hash
+gives resume (completed cells are skipped) and invalidation (any change to the
+spec — workload, scheme parameters, config overrides — changes the hash, so
+stale results are simply never matched) in one mechanism.
+
+A store constructed without a path is purely in-memory — handy for benchmarks
+and tests that only need the run/collect/render pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.orchestration.spec import ExperimentSpec
+from repro.simulation import ExperimentResult
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Content-addressed persistence for sweep results."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._records: dict[str, dict[str, Any]] = {}
+        self.discarded_lines = 0
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    # -- loading -------------------------------------------------------------------
+    def _load(self) -> None:
+        assert self.path is not None
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = record["key"]
+                    record["spec"], record["result"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    # A truncated/corrupt line (interrupted writer); the cell
+                    # will simply be recomputed.
+                    self.discarded_lines += 1
+                    continue
+                self._records[key] = record  # last write wins
+
+    # -- querying ------------------------------------------------------------------
+    @staticmethod
+    def key_for(spec: ExperimentSpec | str) -> str:
+        return spec if isinstance(spec, str) else spec.content_hash()
+
+    def __contains__(self, spec: ExperimentSpec | str) -> bool:
+        return self.key_for(spec) in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._records)
+
+    def get(self, spec: ExperimentSpec | str) -> ExperimentResult | None:
+        """The stored result for ``spec``, or ``None`` when absent."""
+
+        record = self._records.get(self.key_for(spec))
+        if record is None:
+            return None
+        return ExperimentResult.from_dict(record["result"])
+
+    def get_spec(self, key: str) -> ExperimentSpec | None:
+        record = self._records.get(key)
+        if record is None:
+            return None
+        return ExperimentSpec.from_dict(record["spec"])
+
+    def items(self) -> Iterator[tuple[ExperimentSpec, ExperimentResult]]:
+        """All stored ``(spec, result)`` pairs, in insertion order."""
+
+        for record in self._records.values():
+            yield (
+                ExperimentSpec.from_dict(record["spec"]),
+                ExperimentResult.from_dict(record["result"]),
+            )
+
+    # -- writing -------------------------------------------------------------------
+    def put(
+        self,
+        spec: ExperimentSpec,
+        result: ExperimentResult | Mapping[str, Any],
+    ) -> str:
+        """Record ``result`` for ``spec``; returns the store key.
+
+        ``result`` may already be a ``to_dict()`` mapping (workers ship dicts
+        across the process boundary); both forms store identically.
+        """
+
+        result_dict = (
+            result.to_dict() if isinstance(result, ExperimentResult) else dict(result)
+        )
+        key = spec.content_hash()
+        record = {"key": key, "spec": spec.to_dict(), "result": result_dict}
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._records[key] = record
+        return key

@@ -37,7 +37,7 @@ from repro.simulation.metrics import ExperimentResult, RoundRecord
 from repro.simulation.network import ByteMeter
 from repro.simulation.node import SimulationNode
 from repro.simulation.runner import build_nodes, run_experiment
-from repro.simulation.timing import HeterogeneousTimeModel, TimeModel
+from repro.simulation.timing import HeterogeneousTimeModel, TimeModel, time_model_from_dict
 
 __all__ = [
     "AsynchronousMode",
@@ -57,4 +57,5 @@ __all__ = [
     "TimeModel",
     "build_nodes",
     "run_experiment",
+    "time_model_from_dict",
 ]

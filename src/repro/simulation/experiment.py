@@ -11,10 +11,11 @@ heterogeneous nodes (see :mod:`repro.simulation.engine`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping
 
 from repro.exceptions import ConfigurationError
-from repro.simulation.timing import HeterogeneousTimeModel, TimeModel
+from repro.simulation.timing import HeterogeneousTimeModel, TimeModel, time_model_from_dict
 
 __all__ = ["EXECUTION_MODES", "ExperimentConfig"]
 
@@ -111,6 +112,51 @@ class ExperimentConfig:
             bandwidth_scale_range=self.bandwidth_scale_range,
             link_latency_jitter_seconds=self.link_latency_jitter_seconds,
         )
+
+    # -- (de)serialization ---------------------------------------------------------
+    #: Fields declared as tuples, which JSON round-trips as lists.
+    _TUPLE_FIELDS = ("compute_speed_range", "bandwidth_scale_range")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation; exact inverse of :meth:`from_dict`.
+
+        The nested :attr:`time_model` is serialized through
+        :meth:`~repro.simulation.timing.TimeModel.to_dict`, so heterogeneous
+        models survive the round trip with their class intact.
+        """
+
+        data: dict[str, Any] = {}
+        for config_field in fields(self):
+            value = getattr(self, config_field.name)
+            if config_field.name == "time_model":
+                value = value.to_dict()
+            elif config_field.name in self._TUPLE_FIELDS:
+                value = [float(v) for v in value]
+            data[config_field.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentConfig":
+        """Rebuild a configuration from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`~repro.exceptions.ConfigurationError` so a
+        stored configuration from a newer schema fails loudly instead of being
+        silently reinterpreted.
+        """
+
+        known = {config_field.name for config_field in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ExperimentConfig field(s): {', '.join(unknown)}"
+            )
+        payload = dict(data)
+        if "time_model" in payload:
+            payload["time_model"] = time_model_from_dict(payload["time_model"])
+        for name in cls._TUPLE_FIELDS:
+            if name in payload:
+                payload[name] = tuple(payload[name])
+        return cls(**payload)
 
     # -- copy helpers -------------------------------------------------------------
     def with_rounds(self, rounds: int) -> "ExperimentConfig":

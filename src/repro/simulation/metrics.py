@@ -8,7 +8,8 @@ and 2), the cumulative bytes per node (row 3), the simulated wall clock
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -29,6 +30,35 @@ class RoundRecord:
     cumulative_metadata_bytes_per_node: float
     simulated_time_seconds: float
     average_shared_fraction: float
+
+    # -- (de)serialization ---------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation; exact inverse of :meth:`from_dict`.
+
+        Numpy scalars are converted to native Python numbers.  ``float()`` is
+        value-preserving for ``np.float64``, so a round trip through JSON (whose
+        ``repr``-based float formatting is itself exact) reproduces the record
+        bit for bit.
+        """
+
+        return {
+            "round_index": int(self.round_index),
+            "test_accuracy": float(self.test_accuracy),
+            "test_loss": float(self.test_loss),
+            "train_loss": float(self.train_loss),
+            "cumulative_bytes_per_node": float(self.cumulative_bytes_per_node),
+            "cumulative_metadata_bytes_per_node": float(
+                self.cumulative_metadata_bytes_per_node
+            ),
+            "simulated_time_seconds": float(self.simulated_time_seconds),
+            "average_shared_fraction": float(self.average_shared_fraction),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RoundRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+
+        return cls(**{record_field.name: data[record_field.name] for record_field in fields(cls)})
 
 
 @dataclass
@@ -52,6 +82,42 @@ class ExperimentResult:
     #: barrier all entries equal :attr:`simulated_time_seconds`; under the
     #: asynchronous mode fast nodes finish earlier than stragglers.
     per_node_time_seconds: list[float] = field(default_factory=list)
+
+    # -- (de)serialization ---------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation; exact inverse of :meth:`from_dict`."""
+
+        return {
+            "scheme": self.scheme,
+            "task": self.task,
+            "num_nodes": int(self.num_nodes),
+            "rounds_completed": int(self.rounds_completed),
+            "history": [record.to_dict() for record in self.history],
+            "total_bytes": float(self.total_bytes),
+            "total_metadata_bytes": float(self.total_metadata_bytes),
+            "total_values_bytes": float(self.total_values_bytes),
+            "simulated_time_seconds": float(self.simulated_time_seconds),
+            "target_accuracy": (
+                None if self.target_accuracy is None else float(self.target_accuracy)
+            ),
+            "reached_target_at_round": (
+                None
+                if self.reached_target_at_round is None
+                else int(self.reached_target_at_round)
+            ),
+            "execution": self.execution,
+            "per_node_time_seconds": [float(t) for t in self.per_node_time_seconds],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+
+        payload = dict(data)
+        payload["history"] = [
+            RoundRecord.from_dict(record) for record in payload.get("history", [])
+        ]
+        return cls(**payload)
 
     # -- headline numbers ----------------------------------------------------------
     @property

@@ -12,12 +12,13 @@ compute and drained its uplink.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["HeterogeneousTimeModel", "TimeModel"]
+__all__ = ["HeterogeneousTimeModel", "TimeModel", "time_model_from_dict"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,17 @@ class TimeModel:
         compute = self.compute_duration(local_steps)
         communication = self.transfer_duration(max_bytes_sent_by_a_node)
         return compute + communication + self.latency_seconds
+
+    # -- (de)serialization ---------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation; inverse of :func:`time_model_from_dict`."""
+
+        return {
+            "kind": "uniform",
+            "compute_seconds_per_step": float(self.compute_seconds_per_step),
+            "bandwidth_bytes_per_second": float(self.bandwidth_bytes_per_second),
+            "latency_seconds": float(self.latency_seconds),
+        }
 
 
 @dataclass(frozen=True)
@@ -122,3 +134,31 @@ class HeterogeneousTimeModel(TimeModel):
         if self.link_latency_jitter_seconds == 0.0:
             return self.latency_seconds
         return self.latency_seconds + rng.uniform(0.0, self.link_latency_jitter_seconds)
+
+    # -- (de)serialization ---------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation; inverse of :func:`time_model_from_dict`."""
+
+        base = super().to_dict()
+        base.update(
+            kind="heterogeneous",
+            compute_speed_range=[float(v) for v in self.compute_speed_range],
+            bandwidth_scale_range=[float(v) for v in self.bandwidth_scale_range],
+            link_latency_jitter_seconds=float(self.link_latency_jitter_seconds),
+        )
+        return base
+
+
+def time_model_from_dict(data: Mapping[str, Any]) -> TimeModel:
+    """Rebuild a :class:`TimeModel` or :class:`HeterogeneousTimeModel` from
+    :meth:`TimeModel.to_dict` output."""
+
+    payload = dict(data)
+    kind = payload.pop("kind", "uniform")
+    if kind == "uniform":
+        return TimeModel(**payload)
+    if kind == "heterogeneous":
+        payload["compute_speed_range"] = tuple(payload["compute_speed_range"])
+        payload["bandwidth_scale_range"] = tuple(payload["bandwidth_scale_range"])
+        return HeterogeneousTimeModel(**payload)
+    raise ConfigurationError(f"unknown time-model kind {kind!r}")

@@ -1,6 +1,9 @@
 """Tests for the reporting helpers."""
 
+import pytest
+
 from repro.evaluation.reporting import format_table, summarize_results, table1_rows
+from repro.exceptions import ConfigurationError
 from repro.simulation.metrics import ExperimentResult, RoundRecord
 
 
@@ -41,6 +44,34 @@ def test_table1_rows_computes_savings():
     assert row[1] == "60.0"
     assert row[-2] == "63.0%"
     assert row[-1] == "62.2%"
+
+
+def test_table1_rows_missing_scheme_raises_configuration_error():
+    results = {
+        "full-sharing": _result("full-sharing", 0.6, 1000.0),
+        "jwins": _result("jwins", 0.58, 370.0),
+    }
+    with pytest.raises(ConfigurationError, match="missing: random-sampling"):
+        table1_rows("cifar10", results)
+
+
+def test_table1_rows_lists_every_missing_scheme():
+    with pytest.raises(ConfigurationError) as excinfo:
+        table1_rows("cifar10", {})
+    message = str(excinfo.value)
+    for scheme in ("full-sharing", "random-sampling", "jwins"):
+        assert scheme in message
+
+
+def test_table1_rows_zero_total_bytes_reports_zero_savings():
+    # A degenerate store (e.g. zero-round runs) must not divide by zero.
+    results = {
+        "full-sharing": _result("full-sharing", 0.6, 0.0),
+        "random-sampling": _result("random-sampling", 0.4, 0.0),
+        "jwins": _result("jwins", 0.58, 0.0),
+    }
+    row = table1_rows("cifar10", results)
+    assert row[-1] == "0.0%"
 
 
 def test_summarize_results_contains_all_schemes():

@@ -1,0 +1,105 @@
+"""Tests for the artifact regeneration layer."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.orchestration.artifacts import (
+    ARTIFACTS,
+    TABLE1_WORKLOADS,
+    fig6_sweep,
+    fig7_sweep,
+    get_artifact,
+    regenerate,
+    render_fig7,
+    render_table1,
+    table1_sweep,
+)
+from repro.orchestration.pool import run_sweep
+from repro.orchestration.store import ResultStore
+
+TINY = {"num_nodes": 4, "degree": 2, "rounds": 2, "eval_every": 1, "eval_test_samples": 32}
+
+
+class TestSweepDefinitions:
+    def test_table1_grid_shape(self):
+        sweep = table1_sweep()
+        assert len(sweep) == len(TABLE1_WORKLOADS) * 3
+        labels = {scheme.label for scheme in sweep.schemes}
+        assert labels == {"full-sharing", "random-sampling", "jwins"}
+
+    def test_fig7_grid_covers_static_and_dynamic(self):
+        cells = fig7_sweep().cells()
+        assert len(cells) == 6
+        assert {cell.axes["dynamic_topology"] for cell in cells} == {False, True}
+        # The dynamic-topology experiment pins the dataset seed the benchmark used.
+        assert all(cell.spec.task_seed == 3 for cell in cells)
+
+    def test_fig6_budget_cells(self):
+        sweep = fig6_sweep()
+        labels = [scheme.label for scheme in sweep.schemes]
+        assert labels == [
+            "full-sharing",
+            "jwins@20%",
+            "choco@20%",
+            "jwins@10%",
+            "choco@10%",
+        ]
+
+    def test_scale_merges_into_every_cell(self):
+        sweep = table1_sweep(workloads=("movielens",), scale={"rounds": 2})
+        assert all(spec.overrides["rounds"] == 2 for spec in sweep.expand())
+        # Unscaled fields keep the benchmark defaults.
+        assert all(spec.overrides["num_nodes"] == 8 for spec in sweep.expand())
+
+    def test_registry_lookup(self):
+        assert get_artifact("table1").name == "table1"
+        with pytest.raises(ConfigurationError, match="unknown artifact"):
+            get_artifact("fig99")
+        assert set(ARTIFACTS) == {"table1", "fig6", "fig7"}
+
+
+class TestRendering:
+    def test_table1_render_from_filled_store(self):
+        store = ResultStore()
+        run_sweep(table1_sweep(workloads=("movielens",), scale=TINY), store)
+        reports = render_table1(store, workloads=("movielens",), scale=TINY)
+        assert set(reports) == {"table1_fig4_movielens"}
+        report = reports["table1_fig4_movielens"]
+        assert "movielens" in report
+        assert "Figure 4 accuracy curves" in report
+        assert "metadata sent by JWINS" in report
+
+    def test_fig7_render_from_filled_store(self):
+        store = ResultStore()
+        run_sweep(fig7_sweep(scale=TINY), store)
+        report = render_fig7(store, scale=TINY)["fig7_dynamic_topology"]
+        for row in (
+            "full-sharing static",
+            "full-sharing dynamic",
+            "jwins dynamic",
+            "choco dynamic",
+        ):
+            assert row in report
+
+    def test_missing_cell_raises_with_preset_hint(self):
+        with pytest.raises(ConfigurationError, match="sweep --preset table1"):
+            render_table1(ResultStore(), workloads=("movielens",), scale=TINY)
+
+    def test_regenerate_writes_files(self, tmp_path):
+        store = ResultStore()
+        run_sweep(table1_sweep(workloads=TABLE1_WORKLOADS, scale=TINY), store)
+        run_sweep(fig6_sweep(scale=TINY), store)
+        run_sweep(fig7_sweep(scale=TINY), store)
+        written = regenerate(store, tmp_path, scale=TINY)
+        names = {path.name for path in written}
+        assert "fig7_dynamic_topology.txt" in names
+        assert "fig6_jwins_vs_choco.txt" in names
+        assert {f"table1_fig4_{w}.txt" for w in TABLE1_WORKLOADS} <= names
+        for path in written:
+            assert path.read_text(encoding="utf-8").strip()
+
+    def test_regenerate_subset(self, tmp_path):
+        store = ResultStore()
+        run_sweep(fig7_sweep(scale=TINY), store)
+        written = regenerate(store, tmp_path, names=["fig7"], scale=TINY)
+        assert [path.name for path in written] == ["fig7_dynamic_topology.txt"]

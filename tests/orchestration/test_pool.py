@@ -1,0 +1,192 @@
+"""Tests for the sweep executor: resume, observers and parallel determinism.
+
+These pin the two orchestration acceptance criteria:
+
+* an interrupted sweep resumes without recomputing completed cells (proven by
+  counting executed specs through a :class:`SweepObserver`);
+* a 2-worker run of the Table I grid on the synthetic workloads matches the
+  serial run's accuracies and byte counts exactly (bit-identical results).
+"""
+
+import pytest
+
+from repro.orchestration.pool import SweepObserver, run_sweep
+from repro.orchestration.schemes import SchemeSpec
+from repro.orchestration.spec import ExperimentSpec
+from repro.orchestration.store import ResultStore
+from repro.orchestration.sweep import Sweep
+from repro.orchestration.artifacts import table1_sweep
+
+TINY = {"num_nodes": 4, "degree": 2, "rounds": 2, "eval_every": 1, "eval_test_samples": 32}
+
+
+class CountingObserver(SweepObserver):
+    def __init__(self):
+        self.started = []
+        self.executed = []
+        self.skipped = []
+
+    def on_start(self, spec):
+        self.started.append(spec)
+
+    def on_result(self, spec, result):
+        self.executed.append(spec)
+
+    def on_skip(self, spec, result):
+        self.skipped.append(spec)
+
+
+class InterruptAfter(SweepObserver):
+    """Simulates the user hitting Ctrl-C after N completed cells."""
+
+    def __init__(self, cells: int):
+        self.cells = cells
+        self.completed = 0
+
+    def on_result(self, spec, result):
+        self.completed += 1
+        if self.completed >= self.cells:
+            raise KeyboardInterrupt
+
+
+def _sweep(**kwargs):
+    defaults = dict(
+        name="test",
+        workloads=("movielens",),
+        schemes=(SchemeSpec("jwins"), SchemeSpec("full-sharing")),
+        axes={"seed": (1, 2)},
+        base_overrides=TINY,
+    )
+    defaults.update(kwargs)
+    return Sweep(**defaults)
+
+
+class TestSerialExecution:
+    def test_all_cells_execute_and_outcome_is_complete(self):
+        observer = CountingObserver()
+        outcome = run_sweep(_sweep(), observer=observer)
+        assert len(outcome.executed) == 4
+        assert len(outcome.skipped) == 0
+        assert len(outcome.results) == 4
+        assert [s.content_hash() for s in observer.started] == [
+            s.content_hash() for s in observer.executed
+        ]
+        for spec in outcome.specs:
+            assert outcome.result_for(spec).rounds_completed == 2
+
+    def test_labelled_results_include_axis_values(self):
+        outcome = run_sweep(_sweep())
+        labels = list(outcome.labelled_results())
+        assert "movielens/jwins/seed=1" in labels
+        assert "movielens/jwins/seed=2" in labels
+        assert len(labels) == 4
+
+    def test_duplicate_cells_execute_once(self):
+        sweep = _sweep(axes={"seed": (3, 3)})  # same cell twice
+        observer = CountingObserver()
+        outcome = run_sweep(sweep, observer=observer)
+        assert len(outcome.specs) == 4  # the sweep still lists every occurrence
+        assert len(observer.executed) == 2  # but each unique cell ran once
+        assert len(outcome.results) == 2
+        for spec in outcome.specs:
+            assert outcome.result_for(spec).rounds_completed == 2
+
+    def test_accepts_plain_spec_lists(self):
+        specs = [ExperimentSpec("movielens", "jwins", {**TINY, "seed": 1})]
+        outcome = run_sweep(specs)
+        assert outcome.name == "adhoc"
+        assert len(outcome.executed) == 1
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_sweep(_sweep(), workers=0)
+
+
+class TestResume:
+    def test_interrupted_sweep_resumes_without_recomputing(self, tmp_path):
+        """Acceptance: interrupt after 2 of 4 cells, resume runs exactly 2."""
+
+        store_path = tmp_path / "results.jsonl"
+        sweep = _sweep()
+
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(sweep, ResultStore(store_path), observer=InterruptAfter(2))
+        assert len(ResultStore(store_path)) == 2
+
+        observer = CountingObserver()
+        outcome = run_sweep(sweep, ResultStore(store_path), observer=observer)
+        assert len(observer.executed) == 2  # only the missing cells ran
+        assert len(observer.skipped) == 2  # the completed ones were reused
+        assert len(outcome.results) == 4  # but the outcome is complete
+
+        # A third run recomputes nothing at all.
+        observer = CountingObserver()
+        run_sweep(sweep, ResultStore(store_path), observer=observer)
+        assert len(observer.executed) == 0
+        assert len(observer.skipped) == 4
+
+    def test_skipped_results_equal_executed_ones(self, tmp_path):
+        store_path = tmp_path / "results.jsonl"
+        sweep = _sweep()
+        first = run_sweep(sweep, ResultStore(store_path))
+        second = run_sweep(sweep, ResultStore(store_path))
+        for key, result in first.results.items():
+            assert second.results[key].to_dict() == result.to_dict()
+
+    def test_config_change_invalidates_stored_cells(self, tmp_path):
+        store_path = tmp_path / "results.jsonl"
+        run_sweep(_sweep(), ResultStore(store_path))
+        observer = CountingObserver()
+        changed = _sweep(base_overrides={**TINY, "rounds": 3})
+        run_sweep(changed, ResultStore(store_path), observer=observer)
+        assert len(observer.executed) == 4  # nothing matched the old hashes
+        assert len(observer.skipped) == 0
+
+    def test_force_reexecutes_stored_cells(self, tmp_path):
+        store_path = tmp_path / "results.jsonl"
+        run_sweep(_sweep(), ResultStore(store_path))
+        observer = CountingObserver()
+        run_sweep(_sweep(), ResultStore(store_path), observer=observer, force=True)
+        assert len(observer.executed) == 4
+        assert len(observer.skipped) == 0
+
+
+class TestParallelDeterminism:
+    def test_two_worker_table1_grid_matches_serial_exactly(self):
+        """Acceptance: parallel and serial runs are bit-identical.
+
+        Uses the Table I grid (full sharing, random sampling, JWINS) on the
+        synthetic movielens workload at test scale.
+        """
+
+        sweep = table1_sweep(workloads=("movielens",), scale=TINY)
+        serial = run_sweep(sweep, ResultStore(), workers=1)
+        parallel = run_sweep(sweep, ResultStore(), workers=2)
+
+        assert len(serial.results) == len(parallel.results) == 3
+        for spec in sweep.expand():
+            a = serial.result_for(spec)
+            b = parallel.result_for(spec)
+            # Bit-identical accuracies, byte counts and full histories.
+            assert a.to_dict() == b.to_dict()
+            assert a.final_accuracy == b.final_accuracy
+            assert a.total_bytes == b.total_bytes
+
+    def test_parallel_run_fills_the_store_like_serial(self, tmp_path):
+        sweep = _sweep()
+        serial_store = ResultStore(tmp_path / "serial.jsonl")
+        parallel_store = ResultStore(tmp_path / "parallel.jsonl")
+        run_sweep(sweep, serial_store, workers=1)
+        run_sweep(sweep, parallel_store, workers=2)
+        for spec in sweep.expand():
+            assert serial_store.get(spec).to_dict() == parallel_store.get(spec).to_dict()
+
+    def test_parallel_resume_skips_stored_cells(self, tmp_path):
+        store_path = tmp_path / "results.jsonl"
+        sweep = _sweep()
+        run_sweep(sweep.expand()[:2], ResultStore(store_path))
+        observer = CountingObserver()
+        outcome = run_sweep(sweep, ResultStore(store_path), workers=2, observer=observer)
+        assert len(observer.skipped) == 2
+        assert len(observer.executed) == 2
+        assert len(outcome.results) == 4

@@ -1,0 +1,179 @@
+"""Exact round-trip tests for the experiment (de)serialization layer.
+
+The JSONL result store persists every run as ``to_dict()`` output, so the
+round trips must be *exact*: ``from_dict(json.loads(json.dumps(to_dict(x))))``
+has to compare equal to ``x``, bit for bit, including numpy-scalar inputs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.simulation import (
+    ExperimentConfig,
+    ExperimentResult,
+    HeterogeneousTimeModel,
+    RoundRecord,
+    TimeModel,
+    time_model_from_dict,
+)
+
+
+def _json_round_trip(data):
+    return json.loads(json.dumps(data))
+
+
+def _record(round_index: int = 4) -> RoundRecord:
+    return RoundRecord(
+        round_index=round_index,
+        test_accuracy=float(np.float64(0.62347190112)),
+        test_loss=1.0831,
+        train_loss=0.77,
+        cumulative_bytes_per_node=123456.789,
+        cumulative_metadata_bytes_per_node=np.float64(1024.5),
+        simulated_time_seconds=17.25,
+        average_shared_fraction=0.37,
+    )
+
+
+class TestTimeModelRoundTrip:
+    def test_uniform_round_trip_is_exact(self):
+        model = TimeModel(
+            compute_seconds_per_step=0.035,
+            bandwidth_bytes_per_second=2.5e6,
+            latency_seconds=0.011,
+        )
+        rebuilt = time_model_from_dict(_json_round_trip(model.to_dict()))
+        assert rebuilt == model
+        assert type(rebuilt) is TimeModel
+
+    def test_heterogeneous_round_trip_is_exact(self):
+        model = HeterogeneousTimeModel(
+            compute_seconds_per_step=0.02,
+            compute_speed_range=(1.0, 4.0),
+            bandwidth_scale_range=(0.5, 1.0),
+            link_latency_jitter_seconds=0.003,
+        )
+        rebuilt = time_model_from_dict(_json_round_trip(model.to_dict()))
+        assert rebuilt == model
+        assert type(rebuilt) is HeterogeneousTimeModel
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="time-model kind"):
+            time_model_from_dict({"kind": "quantum"})
+
+
+class TestExperimentConfigRoundTrip:
+    def test_default_config_round_trip_is_exact(self):
+        config = ExperimentConfig()
+        assert ExperimentConfig.from_dict(_json_round_trip(config.to_dict())) == config
+
+    def test_fully_customized_config_round_trip_is_exact(self):
+        config = ExperimentConfig(
+            num_nodes=12,
+            degree=3,
+            dynamic_topology=True,
+            partition="shards",
+            shards_per_node=3,
+            rounds=21,
+            local_steps=4,
+            batch_size=16,
+            learning_rate=0.125,
+            momentum=0.9,
+            eval_every=7,
+            eval_test_samples=96,
+            eval_nodes=4,
+            seed=42,
+            message_drop_probability=0.1,
+            target_accuracy=0.8,
+            stop_at_target=True,
+            time_model=TimeModel(compute_seconds_per_step=0.05),
+            compute_speed_range=(1.0, 3.0),
+            bandwidth_scale_range=(0.25, 1.0),
+            link_latency_jitter_seconds=0.002,
+        )
+        rebuilt = ExperimentConfig.from_dict(_json_round_trip(config.to_dict()))
+        assert rebuilt == config
+        # Tuple-typed fields must come back as tuples, not JSON lists.
+        assert isinstance(rebuilt.compute_speed_range, tuple)
+        assert isinstance(rebuilt.bandwidth_scale_range, tuple)
+
+    def test_heterogeneous_time_model_survives(self):
+        config = ExperimentConfig(
+            time_model=HeterogeneousTimeModel(compute_speed_range=(1.0, 2.0))
+        )
+        rebuilt = ExperimentConfig.from_dict(_json_round_trip(config.to_dict()))
+        assert rebuilt == config
+        assert isinstance(rebuilt.time_model, HeterogeneousTimeModel)
+
+    def test_unknown_field_rejected(self):
+        data = ExperimentConfig().to_dict()
+        data["warp_factor"] = 9
+        with pytest.raises(ConfigurationError, match="warp_factor"):
+            ExperimentConfig.from_dict(data)
+
+    def test_from_dict_revalidates(self):
+        data = ExperimentConfig().to_dict()
+        data["num_nodes"] = 1
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig.from_dict(data)
+
+
+class TestRoundRecordRoundTrip:
+    def test_round_trip_is_exact(self):
+        record = _record()
+        rebuilt = RoundRecord.from_dict(_json_round_trip(record.to_dict()))
+        assert rebuilt == record
+
+    def test_numpy_scalars_become_native_floats(self):
+        data = _record().to_dict()
+        assert all(isinstance(v, (int, float)) for v in data.values())
+        assert not any(isinstance(v, np.generic) for v in data.values())
+
+
+class TestExperimentResultRoundTrip:
+    def _result(self) -> ExperimentResult:
+        return ExperimentResult(
+            scheme="jwins",
+            task="cifar10",
+            num_nodes=8,
+            rounds_completed=16,
+            history=[_record(4), _record(8), _record(16)],
+            total_bytes=np.float64(987654.25),
+            total_metadata_bytes=1234.0,
+            total_values_bytes=986420.25,
+            simulated_time_seconds=321.5,
+            target_accuracy=0.6,
+            reached_target_at_round=8,
+            execution="async",
+            per_node_time_seconds=[310.0, 321.5, 299.875],
+        )
+
+    def test_round_trip_is_exact(self):
+        result = self._result()
+        rebuilt = ExperimentResult.from_dict(_json_round_trip(result.to_dict()))
+        assert rebuilt == result
+        # Derived views keep working on the rebuilt object.
+        assert rebuilt.final_accuracy == result.final_accuracy
+        assert rebuilt.clock_skew_seconds == result.clock_skew_seconds
+
+    def test_none_fields_round_trip(self):
+        result = ExperimentResult(
+            scheme="full-sharing", task="toy", num_nodes=4, rounds_completed=0
+        )
+        rebuilt = ExperimentResult.from_dict(_json_round_trip(result.to_dict()))
+        assert rebuilt == result
+        assert rebuilt.target_accuracy is None
+        assert rebuilt.reached_target_at_round is None
+
+    def test_real_run_round_trip_is_exact(self, toy_task, small_config):
+        from repro.baselines import full_sharing_factory
+        from repro.simulation import run_experiment
+
+        result = run_experiment(toy_task, full_sharing_factory(), small_config)
+        rebuilt = ExperimentResult.from_dict(_json_round_trip(result.to_dict()))
+        assert rebuilt == result

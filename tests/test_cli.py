@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main, scheme_factory_from_name
+from repro.cli import build_cli_parser, build_parser, main, scheme_factory_from_name
 
 
 def test_parser_defaults():
@@ -104,6 +104,122 @@ def test_main_runs_async_experiment(capsys):
     assert exit_code == 0
     assert "execution=async" in captured
     assert "running jwins" in captured
+
+
+def test_explicit_run_subcommand_equals_flat_invocation(capsys):
+    flat_args = [
+        "--workload", "movielens", "--scheme", "jwins",
+        "--nodes", "4", "--degree", "2", "--rounds", "2", "--seed", "3",
+    ]
+    assert main(flat_args) == 0
+    flat_output = capsys.readouterr().out
+    assert main(["run", *flat_args]) == 0
+    assert capsys.readouterr().out == flat_output
+
+
+def test_list_workloads_exits_zero_and_prints_registry(capsys):
+    assert main(["--list-workloads"]) == 0
+    captured = capsys.readouterr().out
+    for name in ("cifar10", "movielens", "shakespeare", "celeba", "femnist"):
+        assert name in captured
+
+
+def test_list_schemes_exits_zero_and_prints_registry(capsys):
+    assert main(["--list-schemes"]) == 0
+    captured = capsys.readouterr().out
+    for name in ("jwins", "full-sharing", "choco", "quantized", "topk"):
+        assert name in captured
+
+
+def test_list_flags_do_not_run_experiments(capsys):
+    assert main(["--list-schemes", "--list-workloads"]) == 0
+    assert "running" not in capsys.readouterr().out
+
+
+SWEEP_ARGS = [
+    "sweep",
+    "--workload", "movielens",
+    "--scheme", "jwins", "full-sharing",
+    "--nodes", "4", "--degree", "2", "--rounds", "2",
+    "--seeds", "3",
+]
+
+
+def test_sweep_subcommand_runs_and_persists(tmp_path, capsys):
+    store = tmp_path / "results.jsonl"
+    assert main([*SWEEP_ARGS, "--store", str(store)]) == 0
+    captured = capsys.readouterr().out
+    assert "executed 2 cell(s), skipped 0" in captured
+    assert "movielens/jwins" in captured
+    assert store.exists()
+
+
+def test_sweep_subcommand_resumes_from_store(tmp_path, capsys):
+    store = tmp_path / "results.jsonl"
+    assert main([*SWEEP_ARGS, "--store", str(store)]) == 0
+    capsys.readouterr()
+    assert main([*SWEEP_ARGS, "--store", str(store)]) == 0
+    assert "executed 0 cell(s), skipped 2" in capsys.readouterr().out
+
+
+def test_sweep_subcommand_parallel_matches_serial(tmp_path, capsys):
+    serial, parallel = tmp_path / "serial.jsonl", tmp_path / "parallel.jsonl"
+    assert main([*SWEEP_ARGS, "--store", str(serial), "--workers", "1"]) == 0
+    serial_summary = capsys.readouterr().out.split("executed")[1]
+    assert main([*SWEEP_ARGS, "--store", str(parallel), "--workers", "2"]) == 0
+    assert capsys.readouterr().out.split("executed")[1] == serial_summary
+
+
+def test_sweep_preset_and_regenerate_round_trip(tmp_path, capsys):
+    store = tmp_path / "results.jsonl"
+    scale = ["num_nodes=4", "degree=2", "rounds=2", "eval_every=1", "eval_test_samples=32"]
+    assert main(["sweep", "--preset", "fig7", "--store", str(store), "--scale", *scale]) == 0
+    capsys.readouterr()
+    output = tmp_path / "artifacts"
+    assert (
+        main([
+            "regenerate", "--store", str(store), "--artifact", "fig7",
+            "--output", str(output), "--scale", *scale,
+        ])
+        == 0
+    )
+    assert "wrote" in capsys.readouterr().out
+    assert (output / "fig7_dynamic_topology.txt").exists()
+
+
+def test_regenerate_missing_store_rejected(tmp_path):
+    with pytest.raises(SystemExit, match="empty or missing"):
+        main(["regenerate", "--store", str(tmp_path / "absent.jsonl")])
+
+
+def test_sweep_unknown_workload_rejected_cleanly(tmp_path):
+    with pytest.raises(SystemExit, match="invalid sweep"):
+        main(["sweep", "--workload", "bogus", "--scheme", "jwins",
+              "--store", str(tmp_path / "s.jsonl")])
+
+
+def test_sweep_unknown_scale_field_rejected_cleanly(tmp_path, capsys):
+    with pytest.raises(SystemExit, match="invalid sweep"):
+        main(["sweep", "--preset", "fig7", "--store", str(tmp_path / "s.jsonl"),
+              "--scale", "warp_factor=9"])
+
+
+def test_invalid_scale_entry_rejected(tmp_path):
+    with pytest.raises(SystemExit, match="FIELD=VALUE"):
+        main(["sweep", "--preset", "fig7", "--store", str(tmp_path / "s.jsonl"),
+              "--scale", "numnodes4"])
+
+
+def test_invalid_worker_count_rejected(tmp_path):
+    with pytest.raises(SystemExit, match="--workers"):
+        main([*SWEEP_ARGS, "--store", str(tmp_path / "s.jsonl"), "--workers", "0"])
+
+
+def test_cli_parser_knows_all_subcommands():
+    parser = build_cli_parser()
+    for argv in (["run"], ["sweep"], ["regenerate", "--store", "x"]):
+        args = parser.parse_args(argv)
+        assert callable(args.handler)
 
 
 def test_main_compares_multiple_schemes(capsys):
