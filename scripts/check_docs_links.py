@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Check that internal links in the repo's markdown docs resolve.
+
+Scans README.md and docs/*.md for markdown links and images.  For every
+relative target (no URL scheme) it verifies the referenced file exists; for
+``#fragment`` targets it verifies a heading with the matching GitHub-style
+slug exists in the target (or current) document.  Exits non-zero listing all
+broken links — `scripts/ci.sh` runs this as the docs gate.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` and ``![alt](target)`` — the only link syntax we use.
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+SCHEME_PATTERN = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def heading_slugs(markdown: str) -> set[str]:
+    """GitHub-style anchor slugs for every heading in ``markdown``."""
+
+    slugs: set[str] = set()
+    for heading in HEADING_PATTERN.findall(markdown):
+        text = re.sub(r"[`*_]", "", heading.strip()).lower()
+        slug = re.sub(r"[^\w\- ]", "", text).replace(" ", "-")
+        slugs.add(slug)
+    return slugs
+
+
+def check_document(path: Path) -> list[str]:
+    """All broken link descriptions found in the document at ``path``."""
+
+    text = path.read_text(encoding="utf-8")
+    errors: list[str] = []
+    for target in LINK_PATTERN.findall(text):
+        if SCHEME_PATTERN.match(target):
+            continue  # external URL (https:, mailto:, ...)
+        file_part, _, fragment = target.partition("#")
+        resolved = (path.parent / file_part).resolve() if file_part else path
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+            continue
+        if fragment and resolved.suffix.lower() == ".md":
+            if fragment.lower() not in heading_slugs(resolved.read_text(encoding="utf-8")):
+                errors.append(
+                    f"{path.relative_to(REPO_ROOT)}: missing anchor -> {target}"
+                )
+    return errors
+
+
+def main() -> int:
+    """Check every tracked markdown document; returns the process exit code."""
+
+    documents = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    missing = [doc for doc in documents if not doc.exists()]
+    if missing:
+        for doc in missing:
+            print(f"missing document: {doc.relative_to(REPO_ROOT)}", file=sys.stderr)
+        return 1
+    errors = [error for doc in documents for error in check_document(doc)]
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = ", ".join(str(doc.relative_to(REPO_ROOT)) for doc in documents)
+    if errors:
+        print(f"docs link check FAILED ({len(errors)} broken link(s))", file=sys.stderr)
+        return 1
+    print(f"docs link check OK ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,8 +11,17 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== byte-compiling src =="
 python -m compileall -q src
 
+echo "== docs link check =="
+python scripts/check_docs_links.py
+
 echo "== tier-1 test suite =="
 python -m pytest -x -q
+
+# The tier-1 suite above already ran the throughput benchmark at full size;
+# this pass exercises the CODEC_THROUGHPUT_SMOKE env path (what slow CI
+# runners use) so a broken smoke mode cannot land silently.
+echo "== codec throughput benchmark (smoke mode) =="
+CODEC_THROUGHPUT_SMOKE=1 python -m pytest benchmarks/test_codec_throughput.py -q
 
 echo "== async gossip smoke benchmark =="
 python examples/async_gossip.py --smoke

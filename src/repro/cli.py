@@ -39,6 +39,7 @@ from repro.orchestration import (
     run_sweep,
 )
 from repro.simulation import run_experiment
+from repro.utils.profiling import Profiler, format_profile
 from repro.version import __version__
 
 __all__ = ["build_cli_parser", "build_parser", "main", "scheme_factory_from_name"]
@@ -130,6 +131,12 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=0.0,
         help="probability that each message delivery is independently dropped",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="time the engine phases (train/encode/aggregate/evaluate) and "
+        "print a per-phase breakdown after each scheme",
     )
     parser.add_argument(
         "--list-workloads",
@@ -344,7 +351,19 @@ def _run_command(args: argparse.Namespace) -> int:
     for scheme_name in args.scheme:
         factory = scheme_factory_from_name(scheme_name, args)
         print(f"running {scheme_name} ...")
-        results[scheme_name] = run_experiment(task, factory, config, scheme_name=scheme_name)
+        profiler = Profiler() if args.profile else None
+        result = run_experiment(
+            task, factory, config, scheme_name=scheme_name, profiler=profiler
+        )
+        results[scheme_name] = result
+        if profiler is not None:
+            print(f"\n[{scheme_name} profile]")
+            print(
+                format_profile(
+                    result.phase_seconds, result.rounds_completed, profiler.counts
+                )
+            )
+            print()
 
     print()
     print(summarize_results(results))

@@ -5,13 +5,26 @@ granularity; this module provides a writer that packs bits into ``bytes`` and
 a reader that consumes them again.  Bits are stored most-significant first
 within each byte, and the writer records the exact number of valid bits so the
 reader never interprets padding.
+
+Two interchangeable implementations live here:
+
+* :class:`BitWriter`/:class:`BitReader` — the scalar, one-bit-at-a-time
+  reference.  Easy to audit, and the ground truth the vectorized paths are
+  pinned against byte-for-byte.
+* :func:`pack_bitfields`/:func:`unpack_bits` — the vectorized bulk operations
+  the hot path uses: an entire sequence of MSB-first bit fields is materialized
+  into a ``uint8`` array with numpy shifts and packed with ``np.packbits``
+  (whose big-endian bit order and zero-padded final byte match
+  :meth:`BitWriter.getvalue` exactly).
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.exceptions import CodecError
 
-__all__ = ["BitReader", "BitWriter"]
+__all__ = ["BitReader", "BitWriter", "pack_bitfields", "unpack_bits"]
 
 
 class BitWriter:
@@ -87,6 +100,8 @@ class BitReader:
         return self._bit_length - self._position
 
     def read_bit(self) -> int:
+        """Read the next bit (0 or 1)."""
+
         if self._position >= self._bit_length:
             raise CodecError("attempted to read past the end of the bit stream")
         byte = self._data[self._position // 8]
@@ -109,3 +124,76 @@ class BitReader:
         while self.read_bit() == 0:
             count += 1
         return count
+
+
+# -- vectorized bulk operations ---------------------------------------------------------
+
+#: Widest bit field :func:`pack_bitfields` accepts; numpy's int64 shifts are
+#: undefined beyond 63 positions, so wider fields must go through the scalar
+#: :class:`BitWriter` instead.
+MAX_FIELD_BITS = 63
+
+
+def pack_bitfields(values: np.ndarray, widths: np.ndarray) -> tuple[bytes, int]:
+    """Pack ``values[i]`` into ``widths[i]`` MSB-first bits, all at once.
+
+    The output is byte-for-byte identical to a :class:`BitWriter` receiving the
+    same ``write_bits(value, width)`` calls in order: fields are concatenated
+    most-significant-bit first and the final byte is zero-padded.  Returns
+    ``(payload, bit_length)``.
+
+    Raises :class:`~repro.exceptions.CodecError` if any value is negative or
+    does not fit in its declared width, or if a width exceeds
+    :data:`MAX_FIELD_BITS` (the int64 shift limit of the vectorized kernel).
+    """
+
+    values = np.asarray(values, dtype=np.int64).ravel()
+    widths = np.asarray(widths, dtype=np.int64).ravel()
+    if values.size != widths.size:
+        raise CodecError(
+            f"got {values.size} values but {widths.size} widths"
+        )
+    if values.size == 0:
+        return b"", 0
+    if np.any(widths < 0):
+        raise CodecError("width must be non-negative")
+    if np.any(widths > MAX_FIELD_BITS):
+        raise CodecError(
+            f"pack_bitfields supports fields up to {MAX_FIELD_BITS} bits; "
+            "use BitWriter for wider fields"
+        )
+    # A value fits its width iff shifting the width away leaves nothing
+    # (width 0 therefore only admits the value 0, as write_bits does).
+    if np.any(values < 0) or np.any(values >> np.minimum(widths, 63) != 0):
+        bad = int(np.flatnonzero((values < 0) | (values >> np.minimum(widths, 63) != 0))[0])
+        raise CodecError(
+            f"value {int(values[bad])} does not fit in {int(widths[bad])} bits"
+        )
+
+    offsets = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(widths)])
+    total_bits = int(offsets[-1])
+    if total_bits == 0:
+        return b"", 0
+    # One row per output bit: which field it belongs to and the shift that
+    # isolates it, MSB first within the field.
+    field_of_bit = np.repeat(np.arange(values.size), widths)
+    bit_in_field = np.arange(total_bits) - np.repeat(offsets[:-1], widths)
+    shifts = np.repeat(widths, widths) - 1 - bit_in_field
+    bits = ((values[field_of_bit] >> shifts) & 1).astype(np.uint8)
+    return np.packbits(bits).tobytes(), total_bits
+
+
+def unpack_bits(payload: bytes, bit_length: int) -> np.ndarray:
+    """The first ``bit_length`` bits of ``payload`` as a ``uint8`` 0/1 array.
+
+    MSB-first within each byte, matching :class:`BitReader`.  Raises
+    :class:`~repro.exceptions.CodecError` when ``bit_length`` exceeds the
+    available data, like the :class:`BitReader` constructor does.
+    """
+
+    if bit_length < 0:
+        raise CodecError("bit_length must be non-negative")
+    data = np.frombuffer(payload, dtype=np.uint8)
+    if bit_length > data.size * 8:
+        raise CodecError("bit_length exceeds the available data")
+    return np.unpackbits(data, count=bit_length) if bit_length else np.zeros(0, np.uint8)

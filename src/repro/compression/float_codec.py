@@ -27,6 +27,7 @@ __all__ = [
     "Float16Codec",
     "FloatCodec",
     "LzmaFloatCodec",
+    "float_compress_reference",
     "RawFloatCodec",
 ]
 
@@ -57,6 +58,13 @@ class FloatCodec:
         self.level = int(level)
 
     def compress(self, values: np.ndarray) -> CompressedFloats:
+        """Compress ``values`` losslessly at float32 precision.
+
+        The whole predictor/transpose pipeline is vectorized;
+        :func:`float_compress_reference` is the scalar ground truth it is
+        pinned against byte-for-byte.
+        """
+
         data = np.asarray(values, dtype=np.float32).ravel()
         bits = data.view(np.uint32)
         predicted = np.zeros_like(bits)
@@ -67,6 +75,8 @@ class FloatCodec:
         return CompressedFloats(codec=self.name, payload=payload, count=int(data.size))
 
     def decompress(self, compressed: CompressedFloats) -> np.ndarray:
+        """Exactly invert :meth:`compress`, restoring the float32 values."""
+
         if compressed.codec != self.name:
             raise CodecError(
                 f"payload was produced by {compressed.codec!r}, not {self.name!r}"
@@ -84,16 +94,43 @@ class FloatCodec:
         return bits.view(np.float32).copy()
 
 
+def float_compress_reference(values: np.ndarray, level: int = 6) -> CompressedFloats:
+    """Scalar reference for :meth:`FloatCodec.compress` (loops, no vector ops).
+
+    Applies the XOR predictor one value at a time and builds the byte planes
+    with explicit Python loops; the equivalence tests assert its payload is
+    byte-identical to the vectorized pipeline.
+    """
+
+    data = np.asarray(values, dtype=np.float32).ravel()
+    words = [int(w) for w in data.view(np.uint32)]
+    residuals: list[int] = []
+    previous = 0
+    for word in words:
+        residuals.append(word ^ previous)
+        previous = word
+    planes = bytearray()
+    for plane in range(4):  # little-endian byte planes, low byte first
+        for residual in residuals:
+            planes.append((residual >> (8 * plane)) & 0xFF)
+    payload = zlib.compress(bytes(planes), level)
+    return CompressedFloats(codec=FloatCodec.name, payload=payload, count=len(words))
+
+
 class RawFloatCodec:
     """No compression: 4 bytes per value (used as a baseline in size accounting)."""
 
     name = "raw32"
 
     def compress(self, values: np.ndarray) -> CompressedFloats:
+        """Store the values as raw little-endian float32 bytes."""
+
         data = np.asarray(values, dtype=np.float32).ravel()
         return CompressedFloats(codec=self.name, payload=data.astype("<f4").tobytes(), count=int(data.size))
 
     def decompress(self, compressed: CompressedFloats) -> np.ndarray:
+        """Reinterpret the payload as float32 values."""
+
         if compressed.codec != self.name:
             raise CodecError(
                 f"payload was produced by {compressed.codec!r}, not {self.name!r}"
@@ -117,11 +154,15 @@ class DeflateFloatCodec:
         self.level = int(level)
 
     def compress(self, values: np.ndarray) -> CompressedFloats:
+        """DEFLATE the raw float32 bytes of ``values``."""
+
         data = np.asarray(values, dtype=np.float32).ravel()
         payload = zlib.compress(data.astype("<f4").tobytes(), self.level)
         return CompressedFloats(codec=self.name, payload=payload, count=int(data.size))
 
     def decompress(self, compressed: CompressedFloats) -> np.ndarray:
+        """Inflate the payload back to float32 values."""
+
         if compressed.codec != self.name:
             raise CodecError(
                 f"payload was produced by {compressed.codec!r}, not {self.name!r}"
@@ -147,11 +188,15 @@ class LzmaFloatCodec:
         self.preset = int(preset)
 
     def compress(self, values: np.ndarray) -> CompressedFloats:
+        """LZMA-compress the raw float32 bytes of ``values``."""
+
         data = np.asarray(values, dtype=np.float32).ravel()
         payload = lzma.compress(data.astype("<f4").tobytes(), preset=self.preset)
         return CompressedFloats(codec=self.name, payload=payload, count=int(data.size))
 
     def decompress(self, compressed: CompressedFloats) -> np.ndarray:
+        """Decompress the payload back to float32 values."""
+
         if compressed.codec != self.name:
             raise CodecError(
                 f"payload was produced by {compressed.codec!r}, not {self.name!r}"
@@ -168,10 +213,14 @@ class Float16Codec:
     name = "float16"
 
     def compress(self, values: np.ndarray) -> CompressedFloats:
+        """Truncate ``values`` to float16 (lossy) and store the raw bytes."""
+
         data = np.asarray(values, dtype=np.float16).ravel()
         return CompressedFloats(codec=self.name, payload=data.astype("<f2").tobytes(), count=int(data.size))
 
     def decompress(self, compressed: CompressedFloats) -> np.ndarray:
+        """Widen the stored float16 payload back to float32."""
+
         if compressed.codec != self.name:
             raise CodecError(
                 f"payload was produced by {compressed.codec!r}, not {self.name!r}"

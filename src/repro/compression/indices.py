@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.compression.elias import elias_gamma_decode, elias_gamma_encode
+from repro.compression.elias import elias_gamma_decode_array, elias_gamma_encode
 from repro.exceptions import CodecError
 
 __all__ = [
@@ -73,6 +73,8 @@ class RawIndexCodec(IndexCodec):
     name = "raw"
 
     def encode(self, indices: np.ndarray, universe: int) -> EncodedIndices:
+        """Ship the indices verbatim as little-endian 32-bit integers."""
+
         values = _validate_indices(indices, universe)
         payload = values.astype("<u4").tobytes()
         return EncodedIndices(
@@ -84,6 +86,8 @@ class RawIndexCodec(IndexCodec):
         )
 
     def decode(self, encoded: EncodedIndices) -> np.ndarray:
+        """Read the 32-bit indices back (already sorted iff encoded sorted)."""
+
         if encoded.codec != self.name:
             raise CodecError(f"payload was encoded with {encoded.codec!r}, not {self.name!r}")
         return np.frombuffer(encoded.payload, dtype="<u4").astype(np.int64)
@@ -95,6 +99,8 @@ class EliasGammaIndexCodec(IndexCodec):
     name = "elias-gamma"
 
     def encode(self, indices: np.ndarray, universe: int) -> EncodedIndices:
+        """Sort, delta-encode and Elias-gamma code the index gaps."""
+
         values = _validate_indices(indices, universe)
         values = np.sort(values)
         if values.size and np.any(np.diff(values) == 0):
@@ -112,10 +118,12 @@ class EliasGammaIndexCodec(IndexCodec):
         )
 
     def decode(self, encoded: EncodedIndices) -> np.ndarray:
+        """Invert :meth:`encode`: decode the gaps and integrate them back."""
+
         if encoded.codec != self.name:
             raise CodecError(f"payload was encoded with {encoded.codec!r}, not {self.name!r}")
-        gaps = elias_gamma_decode(encoded.payload, encoded.bit_length, encoded.count)
-        values = np.cumsum(np.asarray(gaps, dtype=np.int64)) - 1
+        gaps = elias_gamma_decode_array(encoded.payload, encoded.bit_length, encoded.count)
+        values = np.cumsum(gaps) - 1
         if values.size and (values[0] < 0 or values[-1] >= encoded.universe):
             raise CodecError("decoded indices fall outside the declared universe")
         return values
@@ -139,6 +147,8 @@ class SeedIndexCodec(IndexCodec):
         self.seed = int(seed)
 
     def encode(self, indices: np.ndarray, universe: int) -> EncodedIndices:
+        """Encode by validating the set matches the seed; ships only the seed."""
+
         values = _validate_indices(indices, universe)
         expected = random_indices_from_seed(self.seed, values.size, universe)
         if not np.array_equal(np.sort(values), expected):
@@ -155,6 +165,8 @@ class SeedIndexCodec(IndexCodec):
         )
 
     def decode(self, encoded: EncodedIndices) -> np.ndarray:
+        """Regenerate the index set from the transmitted seed and count."""
+
         if encoded.codec != self.name:
             raise CodecError(f"payload was encoded with {encoded.codec!r}, not {self.name!r}")
         if not encoded.extra:

@@ -7,17 +7,33 @@ with a small number of bits.  This module implements the QSGD quantizer
 and rounded stochastically to one of ``2^bits - 1`` levels, which keeps the
 quantizer unbiased.  It backs the :class:`~repro.baselines.quantized.QuantizedSharingScheme`
 baseline and the codec-comparison benchmarks.
+
+The wire form a :class:`QuantizedVector` ships in (``norm`` header + one sign
+bit and ``bits`` level bits per value) is realized by
+:func:`pack_quantized`/:func:`unpack_quantized`, vectorized through
+:func:`~repro.compression.bitstream.pack_bitfields`; the bit-serial
+:func:`pack_quantized_reference`/:func:`unpack_quantized_reference` pair is
+the byte-identical ground truth the equivalence tests compare against.
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.compression.bitstream import BitReader, BitWriter, pack_bitfields, unpack_bits
 from repro.exceptions import CodecError
 
-__all__ = ["QuantizedVector", "QsgdQuantizer"]
+__all__ = [
+    "QuantizedVector",
+    "QsgdQuantizer",
+    "pack_quantized",
+    "pack_quantized_reference",
+    "unpack_quantized",
+    "unpack_quantized_reference",
+]
 
 
 @dataclass(frozen=True)
@@ -84,3 +100,89 @@ class QsgdQuantizer:
             return np.zeros(0, dtype=np.float64)
         levels = (1 << quantized.bits) - 1
         return quantized.norm * quantized.signs * quantized.levels / levels
+
+
+# -- wire (de)serialization -------------------------------------------------------------
+#
+# Layout: 4-byte little-endian float32 norm, then for each value one sign bit
+# (1 = negative) followed by ``bits`` level bits, MSB first, final byte
+# zero-padded.  This is exactly the :attr:`QuantizedVector.size_bytes`
+# accounting the byte meter reports.
+
+
+def pack_quantized(quantized: QuantizedVector) -> bytes:
+    """Serialize a :class:`QuantizedVector` to its wire bytes (vectorized).
+
+    Byte-identical to :func:`pack_quantized_reference`.  Zero values carry a
+    zero sign bit (their sign never influences dequantization), so packing is
+    deterministic regardless of how ``np.sign`` labelled them.
+    """
+
+    signs = np.asarray(quantized.signs, dtype=np.int64)
+    levels = np.asarray(quantized.levels, dtype=np.int64)
+    if signs.size != quantized.size or levels.size != quantized.size:
+        raise CodecError("QuantizedVector signs/levels do not match its size")
+    if np.any(levels >> quantized.bits != 0) or np.any(levels < 0):
+        raise CodecError(f"levels do not fit in {quantized.bits} bits")
+    header = struct.pack("<f", quantized.norm)
+    if quantized.size == 0:
+        return header
+    # Interleave [sign, level, sign, level, ...] as alternating 1- and
+    # ``bits``-wide fields and pack the whole stream in one shot.
+    fields = np.empty(2 * quantized.size, dtype=np.int64)
+    fields[0::2] = (signs < 0).astype(np.int64)
+    fields[1::2] = levels
+    widths = np.empty(2 * quantized.size, dtype=np.int64)
+    widths[0::2] = 1
+    widths[1::2] = quantized.bits
+    payload, _ = pack_bitfields(fields, widths)
+    return header + payload
+
+
+def pack_quantized_reference(quantized: QuantizedVector) -> bytes:
+    """Bit-serial reference serializer (ground truth for :func:`pack_quantized`)."""
+
+    writer = BitWriter()
+    for sign, level in zip(quantized.signs, quantized.levels):
+        writer.write_bit(1 if sign < 0 else 0)
+        writer.write_bits(int(level), quantized.bits)
+    return struct.pack("<f", quantized.norm) + writer.getvalue()
+
+
+def unpack_quantized(payload: bytes, bits: int, size: int) -> QuantizedVector:
+    """Rebuild a :class:`QuantizedVector` from its wire bytes (vectorized).
+
+    ``bits`` and ``size`` travel out of band (the byte meter already accounts
+    for them in the framing header).  Restored signs are ``±1``; a packed zero
+    value therefore comes back with sign ``+1`` instead of ``0``, which leaves
+    ``signs * levels`` — all dequantization uses — unchanged.
+    """
+
+    if not 1 <= bits <= 16:
+        raise CodecError("bits must be between 1 and 16")
+    if size < 0:
+        raise CodecError("size must be non-negative")
+    if len(payload) < 4:
+        raise CodecError("quantized payload is missing its norm header")
+    (norm,) = struct.unpack("<f", payload[:4])
+    stream = unpack_bits(payload[4:], size * (1 + bits))
+    matrix = stream.reshape(size, 1 + bits).astype(np.int64)
+    signs = np.where(matrix[:, 0] == 1, -1, 1).astype(np.int8)
+    weights = np.int64(1) << np.arange(bits - 1, -1, -1, dtype=np.int64)
+    levels = (matrix[:, 1:] * weights).sum(axis=1).astype(np.int32)
+    return QuantizedVector(norm=float(norm), signs=signs, levels=levels, bits=bits, size=size)
+
+
+def unpack_quantized_reference(payload: bytes, bits: int, size: int) -> QuantizedVector:
+    """Bit-serial reference deserializer (ground truth for :func:`unpack_quantized`)."""
+
+    if len(payload) < 4:
+        raise CodecError("quantized payload is missing its norm header")
+    (norm,) = struct.unpack("<f", payload[:4])
+    reader = BitReader(payload[4:], size * (1 + bits))
+    signs = np.empty(size, dtype=np.int8)
+    levels = np.empty(size, dtype=np.int32)
+    for i in range(size):
+        signs[i] = -1 if reader.read_bit() else 1
+        levels[i] = reader.read_bits(bits)
+    return QuantizedVector(norm=float(norm), signs=signs, levels=levels, bits=bits, size=size)

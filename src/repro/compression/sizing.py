@@ -45,6 +45,8 @@ class PayloadSize:
 
     @property
     def total_bytes(self) -> int:
+        """Everything that crossed the wire: values + metadata + framing."""
+
         return self.values_bytes + self.metadata_bytes + self.header_bytes
 
     def __add__(self, other: "PayloadSize") -> "PayloadSize":

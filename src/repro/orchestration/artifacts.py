@@ -290,6 +290,8 @@ ARTIFACTS: dict[str, Artifact] = {
 
 
 def get_artifact(name: str) -> Artifact:
+    """Look up a paper artifact by name; raises with the available names."""
+
     artifact = ARTIFACTS.get(name)
     if artifact is None:
         raise ConfigurationError(

@@ -70,6 +70,8 @@ class SweepOutcome:
     labels: dict[str, str] = field(default_factory=dict)
 
     def result_for(self, spec: ExperimentSpec) -> ExperimentResult:
+        """The result stored or computed for ``spec`` (KeyError if neither)."""
+
         return self.results[spec.content_hash()]
 
     def labelled_results(self) -> dict[str, ExperimentResult]:
@@ -155,6 +157,8 @@ def run_sweep(
             pending_keys.add(key)
 
     def record(spec: ExperimentSpec, result_dict: dict[str, Any]) -> None:
+        """Persist one finished cell and notify the observer."""
+
         store.put(spec, result_dict)
         result = ExperimentResult.from_dict(result_dict)
         outcome.results[spec.content_hash()] = result

@@ -184,10 +184,14 @@ class SchemeSpec:
 
     # -- (de)serialization ---------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation; exact inverse of :meth:`from_dict`."""
+
         return {"name": self.name, "params": dict(self.params), "label": self.label}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SchemeSpec":
+        """Rebuild a scheme spec from :meth:`to_dict` output."""
+
         return cls(
             name=data["name"],
             params=dict(data.get("params", {})),

@@ -97,6 +97,8 @@ class ExperimentSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output (hashes match exactly)."""
+
         return cls(
             workload=data["workload"],
             scheme=SchemeSpec.from_dict(data["scheme"]),
@@ -129,6 +131,8 @@ class ExperimentSpec:
         return int(self.content_hash()[:8], 16) % (2**31 - 1) + 1
 
     def resolved_task_seed(self) -> int:
+        """The dataset-generation seed: ``task_seed`` if set, else the run seed."""
+
         return self.task_seed if self.task_seed is not None else self.resolved_seed()
 
     # -- materialization -----------------------------------------------------------

@@ -59,6 +59,8 @@ class ResultStore:
     # -- querying ------------------------------------------------------------------
     @staticmethod
     def key_for(spec: ExperimentSpec | str) -> str:
+        """The store key of ``spec`` (a content hash, passed through if a str)."""
+
         return spec if isinstance(spec, str) else spec.content_hash()
 
     def __contains__(self, spec: ExperimentSpec | str) -> bool:
@@ -68,6 +70,8 @@ class ResultStore:
         return len(self._records)
 
     def keys(self) -> Iterator[str]:
+        """All stored content hashes, in insertion order."""
+
         return iter(self._records)
 
     def get(self, spec: ExperimentSpec | str) -> ExperimentResult | None:
@@ -79,6 +83,8 @@ class ResultStore:
         return ExperimentResult.from_dict(record["result"])
 
     def get_spec(self, key: str) -> ExperimentSpec | None:
+        """The stored spec under content hash ``key``, or ``None`` when absent."""
+
         record = self._records.get(key)
         if record is None:
             return None

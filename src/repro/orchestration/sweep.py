@@ -36,6 +36,8 @@ class SweepCell:
 
     @property
     def label(self) -> str:
+        """Unique-within-sweep cell name: workload/scheme plus axis values."""
+
         parts = [self.workload, self.scheme.label]
         parts.extend(f"{name}={value}" for name, value in self.axes.items())
         return "/".join(parts)
@@ -133,6 +135,8 @@ class Sweep:
 
     # -- (de)serialization ---------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation; exact inverse of :meth:`from_dict`."""
+
         return {
             "name": self.name,
             "workloads": list(self.workloads),
@@ -144,6 +148,8 @@ class Sweep:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Sweep":
+        """Rebuild a sweep from :meth:`to_dict` output."""
+
         return cls(
             name=data["name"],
             workloads=tuple(data["workloads"]),

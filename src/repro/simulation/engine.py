@@ -46,6 +46,7 @@ from repro.simulation.network import ByteMeter
 from repro.simulation.node import SimulationNode
 from repro.topology.graphs import Topology, random_regular_topology
 from repro.topology.weights import metropolis_hastings_weights
+from repro.utils.profiling import PhaseTimer, Profiler
 from repro.utils.rng import SeedSequenceFactory
 
 __all__ = [
@@ -56,6 +57,18 @@ __all__ = [
     "SynchronousMode",
     "build_nodes",
 ]
+
+class _NullTimer:
+    """Zero-cost stand-in for :class:`~repro.utils.profiling.PhaseTimer`."""
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimer()
 
 MessageCallback = Callable[[Message, int, float], None]
 RoundEndCallback = Callable[[int, "int | None", float], None]
@@ -163,6 +176,11 @@ class Simulator:
     mode:
         Explicit :class:`ExecutionMode` instance; defaults to
         :class:`SynchronousMode` or :class:`AsynchronousMode` per the config.
+    profiler:
+        Optional :class:`~repro.utils.profiling.Profiler` measuring the
+        wall-clock cost of the engine phases (``train``/``encode``/
+        ``aggregate``/``evaluate``); its totals and per-round rows are copied
+        onto the result after the run.
     """
 
     def __init__(
@@ -172,6 +190,7 @@ class Simulator:
         config: ExperimentConfig,
         scheme_name: str | None = None,
         mode: ExecutionMode | None = None,
+        profiler: Profiler | None = None,
     ) -> None:
         self.task = task
         self.config = config
@@ -186,6 +205,7 @@ class Simulator:
         self.weights = metropolis_hastings_weights(self.topology)
 
         self.meter = ByteMeter(config.num_nodes)
+        self.profiler = profiler
         self._eval_rng = self.seeds.rng("evaluation")
         self._drop_rng = self.seeds.rng("message-drops")
 
@@ -239,11 +259,28 @@ class Simulator:
         for callback in self._round_end_callbacks:
             callback(round_index, node_id, now)
 
+    def mark_profile_round(self, round_index: int) -> None:
+        """Cut the profiler's per-round row at a round boundary (no-op when off).
+
+        The execution modes call this *after* the round's evaluation so the
+        ``evaluate`` time is attributed to the round that triggered it.
+        """
+
+        if self.profiler is not None:
+            self.profiler.mark_round(round_index)
+
     def emit_message(self, message: Message, receiver: int, now: float) -> None:
         for callback in self._message_callbacks:
             callback(message, receiver, now)
 
     # -- deployment helpers --------------------------------------------------------
+    def profile(self, name: str) -> "PhaseTimer | _NullTimer":
+        """Context manager timing phase ``name``; a no-op without a profiler."""
+
+        if self.profiler is None:
+            return _NULL_TIMER
+        return self.profiler.phase(name)
+
     def resample_topology(self) -> None:
         """Draw a fresh random-regular topology (dynamic-topology experiments)."""
 
@@ -327,7 +364,8 @@ class Simulator:
     ) -> RoundRecord:
         """Evaluate the deployment and append a :class:`RoundRecord`."""
 
-        test_loss, test_accuracy = self._evaluate_nodes()
+        with self.profile("evaluate"):
+            test_loss, test_accuracy = self._evaluate_nodes()
         train_loss = float(np.mean([node.last_train_loss for node in self.nodes]))
         record = RoundRecord(
             round_index=round_index,
@@ -371,6 +409,12 @@ class Simulator:
             )
         self._ran = True
         self.mode.run(self)
+        if self.profiler is not None:
+            # Flush work recorded after the last round boundary (e.g. the
+            # final evaluation) into a trailing row before copying.
+            self.profiler.mark_round(self.result.rounds_completed)
+            self.result.phase_seconds = self.profiler.totals
+            self.result.round_phase_seconds = self.profiler.round_rows
         self.result.total_bytes = self.meter.total_bytes
         self.result.total_metadata_bytes = self.meter.total_metadata_bytes
         self.result.total_values_bytes = self.meter.total_values_bytes
@@ -400,11 +444,13 @@ class SynchronousMode(ExecutionMode):
             contexts: list[RoundContext] = []
             messages: list[Message] = []
             for node in nodes:
-                params_start, params_trained = node.local_training()
+                with simulator.profile("train"):
+                    params_start, params_trained = node.local_training()
                 context = simulator.make_context(
                     node, round_index, params_start, params_trained, now=clock
                 )
-                messages.append(simulator.prepare_message(node, context))
+                with simulator.profile("encode"):
+                    messages.append(simulator.prepare_message(node, context))
                 contexts.append(context)
 
             # -- deliver + aggregate -----------------------------------------------
@@ -418,9 +464,10 @@ class SynchronousMode(ExecutionMode):
                     inbox = [m for m in inbox if simulator.deliver_allowed()]
                 for message in inbox:
                     simulator.emit_message(message, node.node_id, clock)
-                new_params = node.scheme.aggregate(context, inbox)
-                node.scheme.finalize(context, new_params)
-                node.set_parameters(new_params)
+                with simulator.profile("aggregate"):
+                    new_params = node.scheme.aggregate(context, inbox)
+                    node.scheme.finalize(context, new_params)
+                    node.set_parameters(new_params)
 
             # -- meter time and bytes ----------------------------------------------
             max_bytes = max(
@@ -439,7 +486,9 @@ class SynchronousMode(ExecutionMode):
                     round_index + 1, float(np.mean(round_fractions)), clock
                 )
                 if simulator.should_stop_at_target():
+                    simulator.mark_profile_round(round_index)
                     break
+            simulator.mark_profile_round(round_index)
 
         simulator.result.simulated_time_seconds = clock
         simulator.result.per_node_time_seconds = [clock] * config.num_nodes
@@ -517,12 +566,14 @@ class AsynchronousMode(ExecutionMode):
 
             elif event.kind == FINISH_TRAIN:
                 node = nodes[node_id]
-                params_start, params_trained = node.local_training()
+                with simulator.profile("train"):
+                    params_start, params_trained = node.local_training()
                 context = simulator.make_context(
                     node, node_round[node_id], params_start, params_trained, now=now
                 )
                 contexts[node_id] = context
-                message = simulator.prepare_message(node, context)
+                with simulator.profile("encode"):
+                    message = simulator.prepare_message(node, context)
                 last_fraction[node_id] = message.shared_fraction
 
                 neighbors = simulator.topology.neighbors(node_id)
@@ -564,9 +615,10 @@ class AsynchronousMode(ExecutionMode):
                     raise SimulationError("AGGREGATE fired before FINISH_TRAIN")
                 inbox = [message for _, message in inboxes[node_id].values()]
                 inboxes[node_id].clear()
-                new_params = node.scheme.aggregate(context, inbox)
-                node.scheme.finalize(context, new_params)
-                node.set_parameters(new_params)
+                with simulator.profile("aggregate"):
+                    new_params = node.scheme.aggregate(context, inbox)
+                    node.scheme.finalize(context, new_params)
+                    node.set_parameters(new_params)
                 contexts[node_id] = None
                 node_round[node_id] += 1
                 simulator.emit_round_end(node_round[node_id] - 1, node_id, now)
@@ -587,8 +639,13 @@ class AsynchronousMode(ExecutionMode):
                         global_round, float(np.mean(last_fraction)), now
                     )
                     if simulator.should_stop_at_target():
+                        simulator.mark_profile_round(node_round[node_id] - 1)
                         loop.clear()
                         break
+                # Under gossip a "round" boundary is one node finishing its
+                # round; the row holds whatever work happened since the last
+                # such completion (including any evaluation it triggered).
+                simulator.mark_profile_round(node_round[node_id] - 1)
                 if node_round[node_id] < config.rounds:
                     loop.schedule(now, START_ROUND, node_id)
 

@@ -82,6 +82,13 @@ class ExperimentResult:
     #: barrier all entries equal :attr:`simulated_time_seconds`; under the
     #: asynchronous mode fast nodes finish earlier than stragglers.
     per_node_time_seconds: list[float] = field(default_factory=list)
+    #: Real (wall-clock) seconds spent per engine phase — ``train``,
+    #: ``encode``, ``aggregate``, ``evaluate``.  Empty unless a
+    #: :class:`~repro.utils.profiling.Profiler` was attached to the run.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Per-round phase breakdown rows (``{"round": r, phase: seconds, ...}``)
+    #: from the attached profiler; empty when profiling was off.
+    round_phase_seconds: list[dict[str, float]] = field(default_factory=list)
 
     # -- (de)serialization ---------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
@@ -107,6 +114,11 @@ class ExperimentResult:
             ),
             "execution": self.execution,
             "per_node_time_seconds": [float(t) for t in self.per_node_time_seconds],
+            "phase_seconds": {name: float(v) for name, v in self.phase_seconds.items()},
+            "round_phase_seconds": [
+                {name: float(v) for name, v in row.items()}
+                for row in self.round_phase_seconds
+            ],
         }
 
     @classmethod

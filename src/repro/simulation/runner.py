@@ -1,12 +1,10 @@
 """The one-call experiment facade.
 
-:func:`run_experiment` drives the train–communicate–aggregate loop of D-PSGD
-for any sharing scheme implementing the
-:class:`~repro.core.interface.SharingScheme` interface.  Since the engine
-redesign it is a thin wrapper over :class:`~repro.simulation.engine.Simulator`:
-it builds the engine from the configuration (which selects the execution mode,
-``"sync"`` lock-step rounds or ``"async"`` event-driven gossip) and runs it to
-completion.  Code that needs the engine's observer hooks or a custom
+:func:`run_experiment` is a thin wrapper over
+:class:`~repro.simulation.engine.Simulator`: it builds the engine from the
+configuration (which selects the execution mode, ``"sync"`` lock-step rounds
+or ``"async"`` event-driven gossip) and runs it to completion.  Code that
+needs the engine's observer hooks or a custom
 :class:`~repro.simulation.engine.ExecutionMode` should construct the
 :class:`~repro.simulation.engine.Simulator` directly.
 """
@@ -18,6 +16,7 @@ from repro.datasets.base import LearningTask
 from repro.simulation.engine import Simulator, build_nodes
 from repro.simulation.experiment import ExperimentConfig
 from repro.simulation.metrics import ExperimentResult
+from repro.utils.profiling import Profiler
 
 __all__ = ["build_nodes", "run_experiment"]
 
@@ -27,8 +26,20 @@ def run_experiment(
     scheme_factory: SchemeFactory,
     config: ExperimentConfig,
     scheme_name: str | None = None,
+    profiler: Profiler | None = None,
 ) -> ExperimentResult:
-    """Run one decentralized-learning experiment and return its metrics."""
+    """Run one decentralized-learning experiment and return its metrics.
 
-    simulator = Simulator(task, scheme_factory, config, scheme_name=scheme_name)
+    Builds a :class:`~repro.simulation.engine.Simulator` for ``task`` with one
+    :class:`~repro.core.interface.SharingScheme` per node (from
+    ``scheme_factory``) and drives it under the execution mode selected by
+    ``config.execution``.  ``scheme_name`` overrides the display name stored
+    on the result; ``profiler`` (see :mod:`repro.utils.profiling`) opts into
+    wall-clock phase timing, surfaced on
+    :attr:`~repro.simulation.metrics.ExperimentResult.phase_seconds`.
+    """
+
+    simulator = Simulator(
+        task, scheme_factory, config, scheme_name=scheme_name, profiler=profiler
+    )
     return simulator.run()

@@ -25,10 +25,14 @@ class ConfidenceInterval:
 
     @property
     def low(self) -> float:
+        """Lower bound of the interval."""
+
         return self.mean - self.half_width
 
     @property
     def high(self) -> float:
+        """Upper bound of the interval."""
+
         return self.mean + self.half_width
 
     def __contains__(self, value: float) -> bool:
@@ -63,19 +67,27 @@ class RunningMean:
         self._mean = 0.0
 
     def update(self, value: float, weight: float = 1.0) -> None:
+        """Fold one (optionally weighted) observation into the mean."""
+
         if weight <= 0:
             raise ValueError("weight must be positive")
         self._count += weight
         self._mean += (value - self._mean) * (weight / self._count)
 
     def update_many(self, values: Iterable[float]) -> None:
+        """Fold every value of an iterable into the mean."""
+
         for value in values:
             self.update(float(value))
 
     @property
     def count(self) -> float:
+        """Total observation weight folded in so far."""
+
         return self._count
 
     @property
     def mean(self) -> float:
+        """The current running mean (0.0 before any update)."""
+
         return self._mean
