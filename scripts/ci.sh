@@ -1,40 +1,145 @@
 #!/usr/bin/env bash
-# Continuous-integration entry point: byte-compile everything, run the tier-1
-# suite (tests + benchmark harness), smoke the asynchronous gossip execution
-# mode and finish with a tiny orchestration sweep exercised serially, in
-# parallel and resumed from its store.
+# Continuous-integration entry point, split into named stages:
+#
+#   scripts/ci.sh                  # run every stage, in order
+#   scripts/ci.sh lint test        # run a subset, in the given order
+#
+# Stages:
+#   lint         byte-compile every python tree (fast syntax gate)
+#   docs         documentation link check
+#   test         the tier-1 pytest suite (tests + benchmark harness)
+#   bench        codec throughput benchmark in smoke mode
+#   smoke        async gossip example + orchestration sweep resume smoke
+#   determinism  churn+partition sweep twice serially and once on 2 workers;
+#                the JSONL stores must be byte-for-byte identical
+#
+# Each stage prints its wall-clock time on success.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== byte-compiling src =="
-python -m compileall -q src
+CI_TMP="$(mktemp -d)"
+trap 'rm -rf "$CI_TMP"' EXIT
 
-echo "== docs link check =="
-python scripts/check_docs_links.py
+stage_lint() {
+  python -m compileall -q src benchmarks examples scripts tests
+}
 
-echo "== tier-1 test suite =="
-python -m pytest -x -q
+stage_docs() {
+  python scripts/check_docs_links.py
+}
 
-# The tier-1 suite above already ran the throughput benchmark at full size;
-# this pass exercises the CODEC_THROUGHPUT_SMOKE env path (what slow CI
-# runners use) so a broken smoke mode cannot land silently.
-echo "== codec throughput benchmark (smoke mode) =="
-CODEC_THROUGHPUT_SMOKE=1 python -m pytest benchmarks/test_codec_throughput.py -q
+stage_test() {
+  python -m pytest -x -q
+}
 
-echo "== async gossip smoke benchmark =="
-python examples/async_gossip.py --smoke
+stage_bench() {
+  # The tier-1 suite already runs the throughput benchmark at full size; this
+  # pass exercises the CODEC_THROUGHPUT_SMOKE env path (what slow CI runners
+  # use) so a broken smoke mode cannot land silently.
+  CODEC_THROUGHPUT_SMOKE=1 python -m pytest benchmarks/test_codec_throughput.py -q
+}
 
-echo "== orchestration sweep smoke (2 cells: 1 worker, 2 workers, resume) =="
-SWEEP_DIR="$(mktemp -d)"
-trap 'rm -rf "$SWEEP_DIR"' EXIT
-SWEEP_ARGS=(--workload movielens --scheme jwins full-sharing
-            --nodes 4 --degree 2 --rounds 2 --seeds 3)
-python -m repro.cli sweep "${SWEEP_ARGS[@]}" --store "$SWEEP_DIR/serial.jsonl" --workers 1
-python -m repro.cli sweep "${SWEEP_ARGS[@]}" --store "$SWEEP_DIR/parallel.jsonl" --workers 2
-# Resuming against the serial store must skip both completed cells.
-RESUME_OUTPUT="$(python -m repro.cli sweep "${SWEEP_ARGS[@]}" --store "$SWEEP_DIR/serial.jsonl" --workers 2)"
-grep -q "executed 0 cell(s), skipped 2" <<<"$RESUME_OUTPUT"
+stage_smoke() {
+  python examples/async_gossip.py --smoke
+  python examples/churn_partition.py --smoke
 
-echo "CI OK"
+  local sweep_args=(--workload movielens --scheme jwins full-sharing
+                    --nodes 4 --degree 2 --rounds 2 --seeds 3)
+  python -m repro.cli sweep "${sweep_args[@]}" --store "$CI_TMP/smoke.jsonl" --workers 1
+  # Resuming against the store must skip both completed cells.
+  local resume_output
+  resume_output="$(python -m repro.cli sweep "${sweep_args[@]}" --store "$CI_TMP/smoke.jsonl" --workers 2)"
+  grep -q "executed 0 cell(s), skipped 2" <<<"$resume_output"
+}
+
+# Print a readable summary of how two JSONL stores differ (first differing
+# line, its cell, and the first differing top-level result field).
+_store_diff_summary() {
+  python - "$1" "$2" <<'PY'
+import json
+import sys
+
+a_path, b_path = sys.argv[1], sys.argv[2]
+a = open(a_path, encoding="utf-8").read().splitlines()
+b = open(b_path, encoding="utf-8").read().splitlines()
+print(f"  line counts: {len(a)} vs {len(b)}")
+for number, (line_a, line_b) in enumerate(zip(a, b), start=1):
+    if line_a == line_b:
+        continue
+    print(f"  first differing line: {number}")
+    try:
+        record_a, record_b = json.loads(line_a), json.loads(line_b)
+    except json.JSONDecodeError:
+        print("  (line is not valid JSON)")
+        break
+    spec = record_a.get("spec", {})
+    print(f"  cell: workload={spec.get('workload')} scheme={spec.get('scheme')}")
+    result_a, result_b = record_a.get("result", {}), record_b.get("result", {})
+    for key in sorted(set(result_a) | set(result_b)):
+        if result_a.get(key) != result_b.get(key):
+            print(f"  first differing result field: {key!r}")
+            print(f"    a: {str(result_a.get(key))[:120]}")
+            print(f"    b: {str(result_b.get(key))[:120]}")
+            break
+    break
+else:
+    if len(a) != len(b):
+        print("  one store is a strict prefix of the other")
+PY
+}
+
+_compare_stores() {
+  local expected="$1" actual="$2" label="$3"
+  if ! cmp -s "$expected" "$actual"; then
+    echo "determinism gate FAILED: $label stores are not byte-identical"
+    _store_diff_summary "$expected" "$actual"
+    return 1
+  fi
+  echo "determinism gate: $label stores are byte-identical"
+}
+
+stage_determinism() {
+  # A seeded churn+partition sweep must be reproducible byte for byte: run the
+  # 2-cell grid twice with 1 worker and once with 2 workers, then compare the
+  # JSONL stores.  The churn-partition scenario cell keeps the whole scenario
+  # subsystem (churn, partitions, rewiring trace) inside the gate.
+  local det_args=(--workload movielens --scheme jwins full-sharing
+                  --nodes 4 --degree 2 --rounds 3 --scenario churn-partition)
+  python -m repro.cli sweep "${det_args[@]}" --store "$CI_TMP/det-serial.jsonl" --workers 1 >/dev/null
+  python -m repro.cli sweep "${det_args[@]}" --store "$CI_TMP/det-rerun.jsonl"  --workers 1 >/dev/null
+  python -m repro.cli sweep "${det_args[@]}" --store "$CI_TMP/det-pool.jsonl"   --workers 2 >/dev/null
+  _compare_stores "$CI_TMP/det-serial.jsonl" "$CI_TMP/det-rerun.jsonl" "rerun (1 worker vs 1 worker)"
+  _compare_stores "$CI_TMP/det-serial.jsonl" "$CI_TMP/det-pool.jsonl"  "worker count (1 vs 2)"
+}
+
+ALL_STAGES=(lint docs test bench smoke determinism)
+
+run_stage() {
+  local name="$1"
+  echo "== stage: $name =="
+  local started=$SECONDS
+  "stage_$name"
+  echo "-- stage $name OK in $((SECONDS - started))s"
+}
+
+main() {
+  local stages=("$@")
+  if [[ ${#stages[@]} -eq 0 || "${stages[0]}" == "all" ]]; then
+    stages=("${ALL_STAGES[@]}")
+  fi
+  for name in "${stages[@]}"; do
+    if ! declare -F "stage_$name" >/dev/null; then
+      echo "unknown CI stage '$name'; available: ${ALL_STAGES[*]}" >&2
+      exit 2
+    fi
+  done
+  local total_started=$SECONDS
+  for name in "${stages[@]}"; do
+    run_stage "$name"
+  done
+  echo "CI OK in $((SECONDS - total_started))s (${stages[*]})"
+}
+
+main "$@"

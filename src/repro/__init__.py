@@ -12,6 +12,9 @@ This library reproduces "Get More for Less in Decentralized Learning Systems"
 * :mod:`repro.orchestration` — declarative experiment sweeps executed on a
   ``multiprocessing`` worker pool against a resumable, content-addressed JSONL
   result store, plus regeneration of the paper's artifacts from such a store;
+* :mod:`repro.scenarios` — declarative environment schedules (node churn,
+  network partitions, straggler windows, topology rewiring policies) consumed
+  by both execution modes;
 * :mod:`repro.datasets` — the five synthetic workloads and non-IID partitioners;
 * :mod:`repro.nn` — the numpy neural-network substrate;
 * :mod:`repro.wavelets`, :mod:`repro.compression`, :mod:`repro.topology`,

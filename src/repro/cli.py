@@ -14,17 +14,30 @@ cifar10`` keeps working).  ``sweep`` expands a declarative grid — a preset fro
 product — and executes it on a worker pool against a resumable JSONL store.
 ``regenerate`` re-emits the paper artifacts from such a store without
 recomputing anything.
+
+Environment scenarios (churn, partitions, stragglers, time-varying
+topologies) attach to ``run`` and ``sweep`` via ``--scenario`` — a preset
+name (see ``--list-scenarios``) or a path to a
+:meth:`~repro.scenarios.ScenarioSchedule.to_dict` JSON file.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.core.interface import SchemeFactory
 from repro.evaluation import WORKLOADS, get_workload, summarize_results
 from repro.exceptions import ConfigurationError, ReproError
+from repro.scenarios import (
+    SCENARIO_PRESETS,
+    ScenarioSchedule,
+    describe_scenarios,
+    get_scenario,
+)
 from repro.orchestration import (
     ARTIFACTS,
     ResultStore,
@@ -96,7 +109,16 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--dynamic-topology",
         action="store_true",
-        help="re-sample the topology every round (Figure 7 setting)",
+        help="re-sample the topology every round (Figure 7 setting; shorthand "
+        "for --scenario dynamic)",
+    )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME_OR_JSON",
+        help="environment scenario: a named preset (see --list-scenarios) or a "
+        "path to a ScenarioSchedule JSON file (churn, partitions, stragglers, "
+        "topology rewiring)",
     )
     parser.add_argument(
         "--budget",
@@ -147,6 +169,11 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-schemes",
         action="store_true",
         help="print the scheme registry and exit",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print the scenario presets and exit",
     )
     parser.add_argument("--version", action="version", version=f"jwins-repro {__version__}")
 
@@ -207,6 +234,15 @@ def build_cli_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="seed axis (repetitions) of an ad-hoc sweep",
+    )
+    sweep_parser.add_argument(
+        "--scenario",
+        nargs="+",
+        default=None,
+        metavar="NAME_OR_JSON",
+        help="scenario axis of an ad-hoc sweep: preset names or ScenarioSchedule "
+        "JSON files (presets are sized for --nodes/--rounds, falling back to "
+        "the first workload's defaults)",
     )
     sweep_parser.add_argument("--nodes", type=int, default=None, help="number of DL nodes")
     sweep_parser.add_argument("--degree", type=int, default=None, help="topology degree")
@@ -294,6 +330,36 @@ def _parse_scale(entries: Sequence[str] | None) -> dict | None:
     return scale
 
 
+def _resolve_scenario(value: str, num_nodes: int, rounds: int) -> ScenarioSchedule:
+    """Turn a ``--scenario`` argument into a schedule, exiting cleanly on errors.
+
+    Preset names win (so a stray local file cannot shadow ``churn``); any
+    other value ending in ``.json`` or naming an existing file is parsed as a
+    :meth:`~repro.scenarios.ScenarioSchedule.to_dict` document.
+    """
+
+    path = Path(value)
+    if value.lower() in SCENARIO_PRESETS:
+        return get_scenario(value, num_nodes=num_nodes, rounds=rounds)
+    if value.endswith(".json") or path.exists():
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as error:
+            raise SystemExit(f"cannot read scenario file {value!r}: {error}")
+        except json.JSONDecodeError as error:
+            raise SystemExit(f"scenario file {value!r} is not valid JSON: {error}")
+        try:
+            schedule = ScenarioSchedule.from_dict(data)
+            schedule.validate_for(num_nodes)
+        except ConfigurationError as error:
+            raise SystemExit(f"invalid scenario file {value!r}: {error}")
+        return schedule
+    try:
+        return get_scenario(value, num_nodes=num_nodes, rounds=rounds)
+    except ConfigurationError as error:
+        raise SystemExit(str(error))
+
+
 # -- subcommand handlers ---------------------------------------------------------------
 def _handle_list_flags(args: argparse.Namespace) -> bool:
     """Print the requested registries; returns True when the CLI should exit 0."""
@@ -311,6 +377,9 @@ def _handle_list_flags(args: argparse.Namespace) -> bool:
     if getattr(args, "list_schemes", False):
         print(describe_schemes())
         listed = True
+    if getattr(args, "list_scenarios", False):
+        print(describe_scenarios())
+        listed = True
     return listed
 
 
@@ -324,7 +393,16 @@ def _run_command(args: argparse.Namespace) -> int:
     if not 0.0 <= args.drop_probability < 1.0:
         raise SystemExit("--drop-probability must be in [0, 1)")
 
-    workload = get_workload(args.workload)
+    if args.scenario is not None and args.dynamic_topology:
+        raise SystemExit(
+            "--scenario and --dynamic-topology are mutually exclusive; "
+            "use --scenario dynamic for the per-round rewiring"
+        )
+
+    try:
+        workload = get_workload(args.workload)
+    except ConfigurationError as error:
+        raise SystemExit(str(error))
     task = workload.make_task(seed=args.seed)
     overrides = {
         "seed": args.seed,
@@ -338,23 +416,34 @@ def _run_command(args: argparse.Namespace) -> int:
         overrides["degree"] = args.degree
     if args.rounds is not None:
         overrides["rounds"] = args.rounds
+    if args.scenario is not None:
+        num_nodes = args.nodes if args.nodes is not None else workload.config.num_nodes
+        rounds = args.rounds if args.rounds is not None else workload.config.rounds
+        overrides["scenario"] = _resolve_scenario(args.scenario, num_nodes, rounds)
     try:
         config = workload.make_config(execution=args.execution, **overrides)
     except ConfigurationError as error:
         raise SystemExit(f"invalid configuration: {error}")
 
+    scenario_note = "" if config.scenario is None else f" scenario={config.scenario.name}"
     print(
         f"workload={workload.name} nodes={config.num_nodes} rounds={config.rounds} "
         f"partition={config.partition} seed={config.seed} execution={config.execution}"
+        f"{scenario_note}"
     )
     results = {}
     for scheme_name in args.scheme:
         factory = scheme_factory_from_name(scheme_name, args)
         print(f"running {scheme_name} ...")
         profiler = Profiler() if args.profile else None
-        result = run_experiment(
-            task, factory, config, scheme_name=scheme_name, profiler=profiler
-        )
+        try:
+            result = run_experiment(
+                task, factory, config, scheme_name=scheme_name, profiler=profiler
+            )
+        except ReproError as error:
+            # e.g. a scenario whose topology generator cannot fit the
+            # deployment — undefined setups exit cleanly, never a traceback.
+            raise SystemExit(f"cannot run {scheme_name}: {error}")
         results[scheme_name] = result
         if profiler is not None:
             print(f"\n[{scheme_name} profile]")
@@ -407,6 +496,14 @@ def _build_adhoc_sweep(args: argparse.Namespace) -> Sweep:
     axes: dict = {}
     if args.seeds is not None:
         axes["seed"] = tuple(args.seeds)
+    if args.scenario:
+        reference = get_workload(args.workload[0])  # ConfigurationError -> SystemExit
+        num_nodes = args.nodes if args.nodes is not None else reference.config.num_nodes
+        rounds = args.rounds if args.rounds is not None else reference.config.rounds
+        axes["scenario"] = tuple(
+            _resolve_scenario(name, num_nodes, rounds).to_dict()
+            for name in args.scenario
+        )
     return Sweep(
         name="adhoc",
         workloads=tuple(args.workload),

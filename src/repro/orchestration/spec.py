@@ -30,6 +30,7 @@ from repro.datasets.base import LearningTask
 from repro.evaluation.workloads import Workload, get_workload
 from repro.exceptions import ConfigurationError
 from repro.orchestration.schemes import SchemeSpec
+from repro.scenarios.schedule import ScenarioSchedule
 from repro.simulation import ExperimentConfig, ExperimentResult, run_experiment
 from repro.simulation.timing import time_model_from_dict
 
@@ -144,6 +145,10 @@ class ExperimentSpec:
         overrides["seed"] = self.resolved_seed()
         if isinstance(overrides.get("time_model"), Mapping):
             overrides["time_model"] = time_model_from_dict(overrides["time_model"])
+        if isinstance(overrides.get("scenario"), Mapping):
+            # Scenarios travel through sweeps as their canonical JSON form;
+            # the exact from_dict round trip keeps content hashes stable.
+            overrides["scenario"] = ScenarioSchedule.from_dict(overrides["scenario"])
         for name in ExperimentConfig._TUPLE_FIELDS:
             if name in overrides:
                 overrides[name] = tuple(overrides[name])

@@ -39,8 +39,22 @@ class SweepCell:
         """Unique-within-sweep cell name: workload/scheme plus axis values."""
 
         parts = [self.workload, self.scheme.label]
-        parts.extend(f"{name}={value}" for name, value in self.axes.items())
+        parts.extend(
+            f"{name}={_axis_value_label(value)}" for name, value in self.axes.items()
+        )
         return "/".join(parts)
+
+
+def _axis_value_label(value: Any) -> str:
+    """Compact display form of one axis value.
+
+    Structured values (e.g. a scenario schedule in its ``to_dict`` form) are
+    summarized by their ``name`` field so sweep labels stay readable.
+    """
+
+    if isinstance(value, Mapping):
+        return str(value.get("name", "custom"))
+    return str(value)
 
 
 @dataclass(frozen=True)

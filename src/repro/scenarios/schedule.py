@@ -1,0 +1,363 @@
+"""Declarative scenario schedules: churn, partitions, stragglers, rewiring.
+
+A :class:`ScenarioSchedule` describes *how the deployment's environment
+evolves over rounds*, independently of any execution mode: which nodes are
+offline (churn, as :class:`NodeOutage` windows), which groups of nodes are
+temporarily cut off from each other (:class:`PartitionWindow`), which nodes
+run slower for a while (:class:`StragglerWindow`) and how the communication
+graph is generated and rewired (a
+:class:`~repro.topology.policy.GeneratorPolicy`).
+
+The schedule is *pure data*: :meth:`ScenarioSchedule.state_at` maps a round
+index to an immutable :class:`ScenarioState` (active nodes, per-node partition
+ids, per-node slowdowns), and both execution modes consume that state —
+:class:`~repro.simulation.engine.SynchronousMode` per barrier round,
+:class:`~repro.simulation.engine.AsynchronousMode` per node-local round.
+Because the state is a pure function of the round index, a scenario run is as
+deterministic as a plain one: same seed, same schedule, bit-identical result,
+regardless of worker count or execution interleaving.
+
+Everything round-trips exactly through ``to_dict``/``from_dict``, so
+schedules can live in sweep overrides, cross process boundaries and key the
+content-addressed result store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.topology.policy import GeneratorPolicy
+
+__all__ = [
+    "NodeOutage",
+    "PartitionWindow",
+    "ScenarioSchedule",
+    "ScenarioState",
+    "StragglerWindow",
+]
+
+
+def _check_window(name: str, start_round: int, end_round: int | None) -> None:
+    if start_round < 0:
+        raise ConfigurationError(f"{name}: start_round must be non-negative")
+    if end_round is not None and end_round <= start_round:
+        raise ConfigurationError(
+            f"{name}: end_round must be greater than start_round "
+            f"(got [{start_round}, {end_round}))"
+        )
+
+
+@dataclass(frozen=True)
+class NodeOutage:
+    """One churn event: ``node`` is offline during ``[start_round, end_round)``.
+
+    An offline node neither trains, sends nor receives; its model is frozen
+    until it rejoins.  ``end_round=None`` means the node never comes back.
+    """
+
+    node: int
+    start_round: int
+    end_round: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ConfigurationError("outage node id must be non-negative")
+        _check_window("outage", self.start_round, self.end_round)
+
+    def covers(self, round_index: int) -> bool:
+        if round_index < self.start_round:
+            return False
+        return self.end_round is None or round_index < self.end_round
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "node": int(self.node),
+            "start_round": int(self.start_round),
+            "end_round": None if self.end_round is None else int(self.end_round),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NodeOutage":
+        return cls(
+            node=int(data["node"]),
+            start_round=int(data["start_round"]),
+            end_round=data.get("end_round"),
+        )
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A temporary network partition during ``[start_round, end_round)``.
+
+    ``groups`` are disjoint sets of node ids; while the window is open,
+    messages only flow between nodes of the same group.  Nodes in no group
+    form one implicit remainder group (they keep talking to each other, but
+    not to any listed group).
+    """
+
+    start_round: int
+    end_round: int
+    groups: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        _check_window("partition", self.start_round, self.end_round)
+        groups = tuple(tuple(sorted(int(node) for node in group)) for group in self.groups)
+        if len(groups) < 2:
+            raise ConfigurationError("a partition needs at least two groups")
+        seen: set[int] = set()
+        for group in groups:
+            if not group:
+                raise ConfigurationError("partition groups must be non-empty")
+            if seen.intersection(group):
+                raise ConfigurationError("partition groups must be disjoint")
+            seen.update(group)
+        object.__setattr__(self, "groups", groups)
+
+    def covers(self, round_index: int) -> bool:
+        return self.start_round <= round_index < self.end_round
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "start_round": int(self.start_round),
+            "end_round": int(self.end_round),
+            "groups": [list(group) for group in self.groups],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PartitionWindow":
+        return cls(
+            start_round=int(data["start_round"]),
+            end_round=int(data["end_round"]),
+            groups=tuple(tuple(group) for group in data["groups"]),
+        )
+
+
+@dataclass(frozen=True)
+class StragglerWindow:
+    """``nodes`` compute ``slowdown``x slower during ``[start_round, end_round)``.
+
+    Affects simulated time only (round duration under the synchronous
+    barrier, per-node event timing under asynchronous gossip) — the learning
+    dynamics are unchanged, which is exactly what a straggler is.
+    """
+
+    start_round: int
+    end_round: int
+    nodes: tuple[int, ...]
+    slowdown: float
+
+    def __post_init__(self) -> None:
+        _check_window("straggler window", self.start_round, self.end_round)
+        nodes = tuple(sorted(int(node) for node in self.nodes))
+        if not nodes:
+            raise ConfigurationError("a straggler window needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ConfigurationError("straggler nodes must be unique")
+        if self.slowdown < 1.0:
+            raise ConfigurationError("straggler slowdown must be >= 1")
+        object.__setattr__(self, "nodes", nodes)
+        object.__setattr__(self, "slowdown", float(self.slowdown))
+
+    def covers(self, round_index: int) -> bool:
+        return self.start_round <= round_index < self.end_round
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "start_round": int(self.start_round),
+            "end_round": int(self.end_round),
+            "nodes": list(self.nodes),
+            "slowdown": float(self.slowdown),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StragglerWindow":
+        return cls(
+            start_round=int(data["start_round"]),
+            end_round=int(data["end_round"]),
+            nodes=tuple(data["nodes"]),
+            slowdown=float(data["slowdown"]),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioState:
+    """The environment one round sees: who is up, who talks to whom, who lags."""
+
+    round_index: int
+    active: tuple[int, ...]
+    partition_ids: tuple[int | None, ...]
+    slowdowns: tuple[float, ...]
+
+    def is_active(self, node: int) -> bool:
+        return node in self.active
+
+    def allows(self, sender: int, receiver: int) -> bool:
+        """Whether a message from ``sender`` can reach ``receiver`` this round."""
+
+        if sender not in self.active or receiver not in self.active:
+            return False
+        return self.partition_ids[sender] == self.partition_ids[receiver]
+
+    def max_slowdown(self) -> float:
+        """The worst straggler factor among active nodes (1.0 when none lag)."""
+
+        if not self.active:
+            return 1.0
+        return max(self.slowdowns[node] for node in self.active)
+
+
+@dataclass(frozen=True)
+class ScenarioSchedule:
+    """A named, serializable schedule of environment events over rounds.
+
+    The default instance (``ScenarioSchedule()``) is the trivial scenario: a
+    static topology from the default generator, every node up, no partitions,
+    no stragglers — byte-for-byte equivalent to a pre-scenario run.
+    """
+
+    name: str = "static"
+    topology: GeneratorPolicy = field(default_factory=GeneratorPolicy)
+    outages: tuple[NodeOutage, ...] = ()
+    partitions: tuple[PartitionWindow, ...] = ()
+    stragglers: tuple[StragglerWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a scenario needs a non-empty name")
+        topology = self.topology
+        if isinstance(topology, Mapping):
+            topology = GeneratorPolicy.from_dict(topology)
+        if not isinstance(topology, GeneratorPolicy):
+            raise ConfigurationError(
+                "scenario topology must be a GeneratorPolicy (or its to_dict form)"
+            )
+        object.__setattr__(self, "topology", topology)
+        object.__setattr__(self, "outages", self._coerce(self.outages, NodeOutage))
+        object.__setattr__(
+            self, "partitions", self._coerce(self.partitions, PartitionWindow)
+        )
+        object.__setattr__(
+            self, "stragglers", self._coerce(self.stragglers, StragglerWindow)
+        )
+
+    @staticmethod
+    def _coerce(values: Iterable[Any], cls: type) -> tuple[Any, ...]:
+        coerced = []
+        for value in values:
+            if isinstance(value, Mapping):
+                value = cls.from_dict(value)
+            if not isinstance(value, cls):
+                raise ConfigurationError(
+                    f"expected {cls.__name__} entries, got {type(value).__name__}"
+                )
+            coerced.append(value)
+        return tuple(coerced)
+
+    # -- queries -------------------------------------------------------------------
+    @property
+    def has_events(self) -> bool:
+        """Whether any churn/partition/straggler event is scheduled."""
+
+        return bool(self.outages or self.partitions or self.stragglers)
+
+    @property
+    def is_trivial(self) -> bool:
+        """No events and a static default topology (the legacy behavior)."""
+
+        return not self.has_events and self.topology == GeneratorPolicy()
+
+    def validate_for(self, num_nodes: int) -> None:
+        """Check every referenced node id fits a ``num_nodes``-node deployment."""
+
+        for outage in self.outages:
+            if outage.node >= num_nodes:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: outage references node {outage.node}, "
+                    f"but the deployment has {num_nodes} nodes"
+                )
+        for window in self.partitions:
+            for group in window.groups:
+                for node in group:
+                    if node >= num_nodes:
+                        raise ConfigurationError(
+                            f"scenario {self.name!r}: partition references node "
+                            f"{node}, but the deployment has {num_nodes} nodes"
+                        )
+        for window in self.stragglers:
+            for node in window.nodes:
+                if node >= num_nodes:
+                    raise ConfigurationError(
+                        f"scenario {self.name!r}: straggler window references node "
+                        f"{node}, but the deployment has {num_nodes} nodes"
+                    )
+
+    def state_at(self, round_index: int, num_nodes: int) -> ScenarioState:
+        """The :class:`ScenarioState` round ``round_index`` runs under.
+
+        Overlapping partition windows resolve to the earliest-declared open
+        window; straggler factors multiply when windows overlap on a node.
+        """
+
+        offline = {
+            outage.node for outage in self.outages if outage.covers(round_index)
+        }
+        active = tuple(node for node in range(num_nodes) if node not in offline)
+        if not active:
+            raise ConfigurationError(
+                f"scenario {self.name!r} leaves no active nodes at round {round_index}"
+            )
+
+        partition_ids: list[int | None] = [None] * num_nodes
+        for window in self.partitions:
+            if window.covers(round_index):
+                for group_id, group in enumerate(window.groups):
+                    for node in group:
+                        partition_ids[node] = group_id
+                break
+
+        slowdowns = [1.0] * num_nodes
+        for window in self.stragglers:
+            if window.covers(round_index):
+                for node in window.nodes:
+                    slowdowns[node] *= window.slowdown
+
+        return ScenarioState(
+            round_index=round_index,
+            active=active,
+            partition_ids=tuple(partition_ids),
+            slowdowns=tuple(slowdowns),
+        )
+
+    # -- (de)serialization ---------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation; exact inverse of :meth:`from_dict`."""
+
+        return {
+            "name": self.name,
+            "topology": self.topology.to_dict(),
+            "outages": [outage.to_dict() for outage in self.outages],
+            "partitions": [window.to_dict() for window in self.partitions],
+            "stragglers": [window.to_dict() for window in self.stragglers],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSchedule":
+        """Rebuild a schedule from :meth:`to_dict` output (hashes match exactly)."""
+
+        known = {"name", "topology", "outages", "partitions", "stragglers"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ScenarioSchedule field(s): {', '.join(unknown)}"
+            )
+        return cls(
+            name=data.get("name", "static"),
+            topology=GeneratorPolicy.from_dict(
+                data.get("topology", GeneratorPolicy().to_dict())
+            ),
+            outages=tuple(data.get("outages", ())),
+            partitions=tuple(data.get("partitions", ())),
+            stragglers=tuple(data.get("stragglers", ())),
+        )

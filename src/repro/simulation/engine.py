@@ -33,10 +33,12 @@ from repro.core.interface import Message, RoundContext, SchemeFactory
 from repro.datasets.base import LearningTask
 from repro.datasets.partition import partition_dataset
 from repro.exceptions import SimulationError
+from repro.scenarios.schedule import ScenarioSchedule, ScenarioState
 from repro.simulation.events import (
     AGGREGATE,
     DELIVER_MESSAGE,
     FINISH_TRAIN,
+    NODE_RESUME,
     START_ROUND,
     EventLoop,
 )
@@ -44,7 +46,7 @@ from repro.simulation.experiment import ExperimentConfig
 from repro.simulation.metrics import ExperimentResult, RoundRecord
 from repro.simulation.network import ByteMeter
 from repro.simulation.node import SimulationNode
-from repro.topology.graphs import Topology, random_regular_topology
+from repro.topology.graphs import Topology
 from repro.topology.weights import metropolis_hastings_weights
 from repro.utils.profiling import PhaseTimer, Profiler
 from repro.utils.rng import SeedSequenceFactory
@@ -198,8 +200,9 @@ class Simulator:
         self.nodes = build_nodes(task, scheme_factory, config)
         self.model_size = int(self.nodes[0].get_parameters().size)
 
+        self.scenario: ScenarioSchedule = config.resolved_scenario()
         self._topology_rng = self.seeds.rng("topology")
-        self.topology: Topology = random_regular_topology(
+        self.topology: Topology = self.scenario.topology.initial(
             config.num_nodes, config.degree, self._topology_rng
         )
         self.weights = metropolis_hastings_weights(self.topology)
@@ -281,13 +284,28 @@ class Simulator:
             return _NULL_TIMER
         return self.profiler.phase(name)
 
-    def resample_topology(self) -> None:
-        """Draw a fresh random-regular topology (dynamic-topology experiments)."""
+    def scenario_state(self, round_index: int) -> ScenarioState:
+        """The environment state (activity, partitions, slowdowns) at a round."""
 
-        self.topology = random_regular_topology(
-            self.config.num_nodes, self.config.degree, self._topology_rng
+        return self.scenario.state_at(round_index, self.config.num_nodes)
+
+    def apply_topology_policy(self, round_index: int) -> bool:
+        """Ask the scenario's topology policy for round ``round_index``.
+
+        Returns ``True`` when the graph was rewired.  The policy draws from
+        the engine's dedicated topology RNG stream, so rewiring decisions are
+        deterministic per seed and — under the static default — consume no
+        randomness at all.
+        """
+
+        rewired = self.scenario.topology.rewire(
+            round_index, self.config.num_nodes, self.config.degree, self._topology_rng
         )
-        self.weights = metropolis_hastings_weights(self.topology)
+        if rewired is None:
+            return False
+        self.topology = rewired
+        self.weights = metropolis_hastings_weights(rewired)
+        return True
 
     def make_context(
         self,
@@ -415,6 +433,18 @@ class Simulator:
             self.profiler.mark_round(self.result.rounds_completed)
             self.result.phase_seconds = self.profiler.totals
             self.result.round_phase_seconds = self.profiler.round_rows
+        if self.scenario.has_events:
+            # The trace is a pure function of the schedule, recorded for every
+            # round the run actually completed (early stop truncates it).
+            for round_index in range(self.result.rounds_completed):
+                state = self.scenario_state(round_index)
+                self.result.scenario_rounds.append(
+                    {
+                        "round": round_index,
+                        "active_nodes": list(state.active),
+                        "partition_ids": list(state.partition_ids),
+                    }
+                )
         self.result.total_bytes = self.meter.total_bytes
         self.result.total_metadata_bytes = self.meter.total_metadata_bytes
         self.result.total_values_bytes = self.meter.total_values_bytes
@@ -427,6 +457,12 @@ class SynchronousMode(ExecutionMode):
     This mode is a faithful port of the original monolithic runner — for a
     given seed it produces the identical :class:`ExperimentResult` (history,
     bytes, simulated time), which the regression tests pin down.
+
+    Scenario semantics per round: the topology policy may rewire the graph,
+    offline (churn) nodes neither train, send, receive nor aggregate (their
+    models freeze until they rejoin), messages crossing an open partition are
+    suppressed after the sender's uplink is metered, and the barrier clock
+    stretches by the worst active straggler's extra compute time.
     """
 
     name = "sync"
@@ -437,28 +473,33 @@ class SynchronousMode(ExecutionMode):
         clock = 0.0
 
         for round_index in range(config.rounds):
-            if config.dynamic_topology and round_index > 0:
-                simulator.resample_topology()
+            simulator.apply_topology_policy(round_index)
+            state = simulator.scenario_state(round_index)
+            active_nodes = [nodes[node_id] for node_id in state.active]
 
-            # -- train + prepare ---------------------------------------------------
-            contexts: list[RoundContext] = []
-            messages: list[Message] = []
-            for node in nodes:
+            # -- train + prepare (offline nodes sit the round out) -----------------
+            contexts: dict[int, RoundContext] = {}
+            messages: dict[int, Message] = {}
+            for node in active_nodes:
                 with simulator.profile("train"):
                     params_start, params_trained = node.local_training()
                 context = simulator.make_context(
                     node, round_index, params_start, params_trained, now=clock
                 )
                 with simulator.profile("encode"):
-                    messages.append(simulator.prepare_message(node, context))
-                contexts.append(context)
+                    messages[node.node_id] = simulator.prepare_message(node, context)
+                contexts[node.node_id] = context
 
             # -- deliver + aggregate -----------------------------------------------
-            round_fractions = [message.shared_fraction for message in messages]
-            for node, context in zip(nodes, contexts):
+            round_fractions = [
+                messages[node_id].shared_fraction for node_id in state.active
+            ]
+            for node in active_nodes:
+                context = contexts[node.node_id]
                 inbox = [
                     messages[neighbor]
                     for neighbor in simulator.topology.neighbors(node.node_id)
+                    if neighbor in messages and state.allows(neighbor, node.node_id)
                 ]
                 if config.message_drop_probability > 0.0:
                     inbox = [m for m in inbox if simulator.deliver_allowed()]
@@ -472,9 +513,16 @@ class SynchronousMode(ExecutionMode):
             # -- meter time and bytes ----------------------------------------------
             max_bytes = max(
                 message.size.total_bytes * len(simulator.topology.neighbors(message.sender))
-                for message in messages
+                for message in messages.values()
             )
-            clock += config.time_model.round_duration(config.local_steps, max_bytes)
+            round_duration = config.time_model.round_duration(config.local_steps, max_bytes)
+            worst_slowdown = state.max_slowdown()
+            if worst_slowdown > 1.0:
+                # The barrier waits for the slowest straggler's extra compute.
+                round_duration += (worst_slowdown - 1.0) * config.time_model.compute_duration(
+                    config.local_steps
+                )
+            clock += round_duration
             simulator.meter.end_round()
             simulator.result.rounds_completed = round_index + 1
             simulator.emit_round_end(round_index, None, clock)
@@ -517,6 +565,16 @@ class AsynchronousMode(ExecutionMode):
     remain comparable to the synchronous mode.  The result records each
     node's final local clock; :attr:`ExperimentResult.clock_skew_seconds`
     is the straggler spread.
+
+    Scenario semantics: every node consults the schedule at *its own* round
+    counter.  An offline (churn) round becomes a ``NODE_RESUME`` sleep of one
+    compute-round's duration; straggler windows multiply the node's compute
+    time; deliveries whose sender/receiver pair an open partition (or an
+    offline receiver) forbids are suppressed at send time, judged in the
+    sender's round, and a delivery landing on a node that is offline in its
+    own round is lost rather than parked.  The topology policy rewires on
+    global-round advancement, so dynamic topologies now work under gossip
+    too.
     """
 
     name = "async"
@@ -546,6 +604,50 @@ class AsynchronousMode(ExecutionMode):
         last_fraction = [1.0] * num_nodes
         evaluated_through = 0
 
+        def complete_round(node_id: int, now: float) -> bool:
+            """Round bookkeeping shared by AGGREGATE and NODE_RESUME.
+
+            Returns ``False`` when the target-accuracy early stop fired (the
+            caller clears the loop and exits).
+            """
+
+            nonlocal evaluated_through
+            node_round[node_id] += 1
+            simulator.emit_round_end(node_round[node_id] - 1, node_id, now)
+
+            global_round = min(node_round)
+            if global_round > simulator.result.rounds_completed:
+                # One ByteMeter round per globally completed round, so
+                # per_round_bytes keeps its per-round meaning under gossip.
+                simulator.meter.end_round()
+                # Rewiring keys off the *global* round: the policy fires once
+                # per completed round, at a deterministic point of the event
+                # order (the aggregate/resume that advanced the minimum).
+                # Reaching config.rounds means everyone is done — no round
+                # will run on a fresh graph, so don't sample one.
+                if global_round < config.rounds:
+                    simulator.apply_topology_policy(global_round)
+            simulator.result.rounds_completed = global_round
+            due = (
+                global_round % config.eval_every == 0
+                or global_round == config.rounds
+            )
+            if global_round > evaluated_through and due:
+                evaluated_through = global_round
+                simulator.record_evaluation(
+                    global_round, float(np.mean(last_fraction)), now
+                )
+                if simulator.should_stop_at_target():
+                    simulator.mark_profile_round(node_round[node_id] - 1)
+                    return False
+            # Under gossip a "round" boundary is one node finishing its
+            # round; the row holds whatever work happened since the last
+            # such completion (including any evaluation it triggered).
+            simulator.mark_profile_round(node_round[node_id] - 1)
+            if node_round[node_id] < config.rounds:
+                loop.schedule(now, START_ROUND, node_id)
+            return True
+
         for node in nodes:
             loop.schedule(0.0, START_ROUND, node.node_id)
 
@@ -558,11 +660,26 @@ class AsynchronousMode(ExecutionMode):
                 node_clock[node_id] = max(node_clock[node_id], now)
 
             if event.kind == START_ROUND:
+                state = simulator.scenario_state(node_round[node_id])
                 duration = (
                     time_model.compute_duration(config.local_steps)
                     * compute_slowdown[node_id]
                 )
-                loop.schedule(now + duration, FINISH_TRAIN, node_id)
+                if not state.is_active(node_id):
+                    # Offline (churn) round: sleep one compute-round's worth
+                    # of time, share nothing, then rejoin the schedule.
+                    loop.schedule(now + duration, NODE_RESUME, node_id)
+                else:
+                    scenario_slowdown = state.slowdowns[node_id]
+                    if scenario_slowdown != 1.0:
+                        duration *= scenario_slowdown
+                    loop.schedule(now + duration, FINISH_TRAIN, node_id)
+
+            elif event.kind == NODE_RESUME:
+                last_fraction[node_id] = 0.0  # the offline node shared nothing
+                if not complete_round(node_id, now):
+                    loop.clear()
+                    break
 
             elif event.kind == FINISH_TRAIN:
                 node = nodes[node_id]
@@ -577,6 +694,7 @@ class AsynchronousMode(ExecutionMode):
                 last_fraction[node_id] = message.shared_fraction
 
                 neighbors = simulator.topology.neighbors(node_id)
+                state = simulator.scenario_state(node_round[node_id])
                 # The uplink serializes the copies: neighbor k's copy starts
                 # travelling only after the first k copies have been pushed.
                 transfer = (
@@ -585,6 +703,10 @@ class AsynchronousMode(ExecutionMode):
                 )
                 for position, neighbor in enumerate(neighbors):
                     sent_at = now + (position + 1) * transfer
+                    if not state.allows(node_id, neighbor):
+                        # Partitioned away or offline (judged in the sender's
+                        # round): the copy leaves the uplink but never lands.
+                        continue
                     if not simulator.deliver_allowed():
                         continue  # dropped in flight; uplink bytes already metered
                     latency = time_model.sample_link_latency(latency_rng)
@@ -597,6 +719,10 @@ class AsynchronousMode(ExecutionMode):
                 loop.schedule(now + len(neighbors) * transfer, AGGREGATE, node_id)
 
             elif event.kind == DELIVER_MESSAGE:
+                if not simulator.scenario_state(node_round[node_id]).is_active(node_id):
+                    # The receiver is offline in its own current round: the
+                    # delivery is lost, not parked for after the outage.
+                    continue
                 message = event.data["message"]
                 round_sent = event.data["round"]
                 # Keep only the freshest message per sender: gossip aggregation
@@ -613,43 +739,28 @@ class AsynchronousMode(ExecutionMode):
                 context = contexts[node_id]
                 if context is None:  # pragma: no cover - event chain guarantees this
                     raise SimulationError("AGGREGATE fired before FINISH_TRAIN")
-                inbox = [message for _, message in inboxes[node_id].values()]
+                # Mix only with the neighborhood this round's context was built
+                # under: a rewiring policy can retire an edge while a delivery
+                # is in flight (or parked in the inbox), and schemes validate
+                # senders against ``context.neighbor_weights``.  With a static
+                # topology every held sender is a neighbor — the filter is a
+                # no-op there.
+                inbox = [
+                    message
+                    for _, message in inboxes[node_id].values()
+                    if message.sender in context.neighbor_weights
+                ]
                 inboxes[node_id].clear()
                 with simulator.profile("aggregate"):
                     new_params = node.scheme.aggregate(context, inbox)
                     node.scheme.finalize(context, new_params)
                     node.set_parameters(new_params)
                 contexts[node_id] = None
-                node_round[node_id] += 1
-                simulator.emit_round_end(node_round[node_id] - 1, node_id, now)
+                if not complete_round(node_id, now):
+                    loop.clear()
+                    break
 
-                global_round = min(node_round)
-                if global_round > simulator.result.rounds_completed:
-                    # One ByteMeter round per globally completed round, so
-                    # per_round_bytes keeps its per-round meaning under gossip.
-                    simulator.meter.end_round()
-                simulator.result.rounds_completed = global_round
-                due = (
-                    global_round % config.eval_every == 0
-                    or global_round == config.rounds
-                )
-                if global_round > evaluated_through and due:
-                    evaluated_through = global_round
-                    simulator.record_evaluation(
-                        global_round, float(np.mean(last_fraction)), now
-                    )
-                    if simulator.should_stop_at_target():
-                        simulator.mark_profile_round(node_round[node_id] - 1)
-                        loop.clear()
-                        break
-                # Under gossip a "round" boundary is one node finishing its
-                # round; the row holds whatever work happened since the last
-                # such completion (including any evaluation it triggered).
-                simulator.mark_profile_round(node_round[node_id] - 1)
-                if node_round[node_id] < config.rounds:
-                    loop.schedule(now, START_ROUND, node_id)
-
-            else:  # pragma: no cover - only the four kinds above are scheduled
+            else:  # pragma: no cover - only the five kinds above are scheduled
                 raise SimulationError(f"unknown event kind {event.kind!r}")
 
         simulator.result.simulated_time_seconds = float(max(node_clock))

@@ -24,6 +24,7 @@ __all__ = [
     "Event",
     "EventLoop",
     "FINISH_TRAIN",
+    "NODE_RESUME",
     "START_ROUND",
 ]
 
@@ -35,6 +36,9 @@ FINISH_TRAIN = "finish-train"
 DELIVER_MESSAGE = "deliver-message"
 #: A node drains its inbox and applies the aggregation rule.
 AGGREGATE = "aggregate"
+#: A node finishes an offline (churn) round: it neither trained nor sent, its
+#: round counter simply advances and it re-enters the schedule.
+NODE_RESUME = "node-resume"
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Any, Mapping
 
 from repro.exceptions import ConfigurationError
+from repro.scenarios.schedule import ScenarioSchedule
 from repro.simulation.timing import HeterogeneousTimeModel, TimeModel, time_model_from_dict
 
 __all__ = ["EXECUTION_MODES", "ExperimentConfig"]
@@ -58,6 +59,10 @@ class ExperimentConfig:
     bandwidth_scale_range: tuple[float, float] = (1.0, 1.0)
     #: Uniform extra per-delivery latency jitter used by the async mode.
     link_latency_jitter_seconds: float = 0.0
+    #: Declarative environment schedule (churn, partitions, stragglers and the
+    #: topology rewiring policy).  ``None`` means the trivial scenario implied
+    #: by :attr:`dynamic_topology`; see :meth:`resolved_scenario`.
+    scenario: ScenarioSchedule | None = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 2:
@@ -88,12 +93,39 @@ class ExperimentConfig:
         # Constructing the heterogeneous model validates the ranges and the
         # jitter once, in timing.py — the single source of truth.
         self.resolved_time_model()
-        if self.execution == "async" and self.dynamic_topology:
-            raise ConfigurationError(
-                "the async execution mode supports static topologies only"
-            )
+        if self.scenario is not None:
+            if isinstance(self.scenario, Mapping):
+                object.__setattr__(
+                    self, "scenario", ScenarioSchedule.from_dict(self.scenario)
+                )
+            if self.dynamic_topology:
+                raise ConfigurationError(
+                    "scenario and the legacy dynamic_topology flag are mutually "
+                    "exclusive; encode the rewiring policy in the scenario instead"
+                )
+            self.scenario.validate_for(self.num_nodes)
 
     # -- derived views -------------------------------------------------------------
+    def resolved_scenario(self) -> ScenarioSchedule:
+        """The :class:`~repro.scenarios.schedule.ScenarioSchedule` this run uses.
+
+        An explicit :attr:`scenario` wins.  Otherwise the legacy
+        :attr:`dynamic_topology` flag maps onto the subsystem: ``True`` becomes
+        the per-round random-regular rewiring policy (bit-identical to the old
+        ad-hoc resampling), ``False`` the trivial static scenario.
+        """
+
+        if self.scenario is not None:
+            return self.scenario
+        if self.dynamic_topology:
+            return ScenarioSchedule.from_dict(
+                {
+                    "name": "dynamic",
+                    "topology": {"generator": "random-regular", "rewire_every": 1},
+                }
+            )
+        return ScenarioSchedule()
+
     def resolved_time_model(self) -> HeterogeneousTimeModel:
         """The heterogeneous time model the async engine runs on.
 
@@ -130,6 +162,8 @@ class ExperimentConfig:
             value = getattr(self, config_field.name)
             if config_field.name == "time_model":
                 value = value.to_dict()
+            elif config_field.name == "scenario":
+                value = None if value is None else value.to_dict()
             elif config_field.name in self._TUPLE_FIELDS:
                 value = [float(v) for v in value]
             data[config_field.name] = value

@@ -89,6 +89,12 @@ class ExperimentResult:
     #: Per-round phase breakdown rows (``{"round": r, phase: seconds, ...}``)
     #: from the attached profiler; empty when profiling was off.
     round_phase_seconds: list[dict[str, float]] = field(default_factory=list)
+    #: Per-round scenario trace rows ``{"round": r, "active_nodes": [...],
+    #: "partition_ids": [...]}`` — which nodes were up and, if a partition
+    #: window was open, which group each node sat in (``None`` = unlisted).
+    #: Empty unless the run's scenario scheduled churn/partition/straggler
+    #: events.
+    scenario_rounds: list[dict[str, Any]] = field(default_factory=list)
 
     # -- (de)serialization ---------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
@@ -118,6 +124,17 @@ class ExperimentResult:
             "round_phase_seconds": [
                 {name: float(v) for name, v in row.items()}
                 for row in self.round_phase_seconds
+            ],
+            "scenario_rounds": [
+                {
+                    "round": int(row["round"]),
+                    "active_nodes": [int(node) for node in row["active_nodes"]],
+                    "partition_ids": [
+                        None if pid is None else int(pid)
+                        for pid in row["partition_ids"]
+                    ],
+                }
+                for row in self.scenario_rounds
             ],
         }
 

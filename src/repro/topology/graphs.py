@@ -19,9 +19,11 @@ from repro.exceptions import TopologyError
 __all__ = [
     "DynamicTopology",
     "Topology",
+    "clustered_topology",
     "fully_connected_topology",
     "random_regular_topology",
     "ring_topology",
+    "small_world_topology",
     "star_topology",
 ]
 
@@ -109,6 +111,86 @@ def fully_connected_topology(num_nodes: int) -> Topology:
 
     edges = tuple((i, j) for i in range(num_nodes) for j in range(i + 1, num_nodes))
     return Topology(num_nodes=num_nodes, edges=edges)
+
+
+def small_world_topology(
+    num_nodes: int, k: int, beta: float, rng: np.random.Generator
+) -> Topology:
+    """A connected Watts–Strogatz small-world graph.
+
+    Each node starts on a ring wired to its ``k`` nearest neighbors (``k`` is
+    treated as even by the underlying construction) and every ring edge is
+    rewired to a random endpoint with probability ``beta``.  ``beta = 0`` is a
+    regular ring lattice, ``beta = 1`` approaches a random graph; intermediate
+    values give the short-path/high-clustering regime scenario experiments use.
+    """
+
+    if k < 2:
+        raise TopologyError("small-world k must be at least 2")
+    if k >= num_nodes:
+        raise TopologyError("small-world k must be smaller than the number of nodes")
+    if not 0.0 <= beta <= 1.0:
+        raise TopologyError("small-world beta must be in [0, 1]")
+    for attempt in range(100):
+        seed = int(rng.integers(0, 2**31 - 1))
+        graph = nx.watts_strogatz_graph(num_nodes, k, beta, seed=seed)
+        if nx.is_connected(graph):
+            return _from_networkx(graph, num_nodes)
+    raise TopologyError(
+        f"failed to sample a connected small-world graph over {num_nodes} nodes"
+    )
+
+
+def clustered_topology(
+    num_nodes: int, num_clusters: int, bridges: int, rng: np.random.Generator
+) -> Topology:
+    """Densely wired clusters joined by a sparse ring of random bridge edges.
+
+    Nodes are split into ``num_clusters`` contiguous groups.  Small clusters
+    (six nodes or fewer) are fully connected; larger ones get a connected
+    random-regular graph of degree 4.  Consecutive clusters (in a ring, so the
+    whole graph is connected) are joined by ``bridges`` random cross edges.
+    This is the classic "data-center islands over a thin WAN" shape used by
+    partition scenarios.
+    """
+
+    if num_clusters < 2:
+        raise TopologyError("a clustered topology needs at least two clusters")
+    if num_nodes < 2 * num_clusters:
+        raise TopologyError("each cluster needs at least two nodes")
+    if bridges < 1:
+        raise TopologyError("bridges must be at least 1")
+
+    bounds = np.linspace(0, num_nodes, num_clusters + 1).astype(int)
+    clusters = [list(range(bounds[i], bounds[i + 1])) for i in range(num_clusters)]
+
+    edges: set[tuple[int, int]] = set()
+    for members in clusters:
+        size = len(members)
+        if size <= 6:
+            edges.update(
+                (members[i], members[j]) for i in range(size) for j in range(i + 1, size)
+            )
+        else:
+            local = random_regular_topology(size, 4, rng)
+            edges.update(
+                (min(members[u], members[v]), max(members[u], members[v]))
+                for u, v in local.edges
+            )
+    # Consecutive clusters form a ring; with exactly two clusters the ring
+    # would visit the single pair twice, so only one direction is wired.
+    for index in range(num_clusters if num_clusters > 2 else 1):
+        members = clusters[index]
+        other = clusters[(index + 1) % num_clusters]
+        for _ in range(bridges):
+            u = int(members[int(rng.integers(0, len(members)))])
+            v = int(other[int(rng.integers(0, len(other)))])
+            edges.add((min(u, v), max(u, v)))
+
+    topology = Topology(num_nodes=num_nodes, edges=tuple(sorted(edges)))
+    if not topology.is_connected():  # pragma: no cover - connected by construction
+        raise TopologyError("clustered topology construction yielded a disconnected graph")
+    return topology
 
 
 def star_topology(num_nodes: int, center: int = 0) -> Topology:

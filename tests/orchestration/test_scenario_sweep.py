@@ -1,0 +1,94 @@
+"""Scenarios as a sweepable axis: hashing, resume and worker determinism."""
+
+from __future__ import annotations
+
+import json
+
+from repro.orchestration.pool import run_sweep
+from repro.orchestration.schemes import SchemeSpec
+from repro.orchestration.spec import ExperimentSpec
+from repro.orchestration.store import ResultStore
+from repro.orchestration.sweep import Sweep
+from repro.scenarios import get_scenario
+
+TINY = {"num_nodes": 4, "degree": 2, "rounds": 3, "eval_every": 1, "eval_test_samples": 32}
+
+CHURN = get_scenario("churn-partition", num_nodes=4, rounds=3).to_dict()
+STATIC = get_scenario("static", num_nodes=4, rounds=3).to_dict()
+
+
+def _scenario_sweep() -> Sweep:
+    return Sweep(
+        name="scenario-axis",
+        workloads=("movielens",),
+        schemes=(SchemeSpec("full-sharing"),),
+        axes={"scenario": (STATIC, CHURN)},
+        base_overrides=TINY,
+    )
+
+
+def test_scenario_axis_expands_with_readable_labels():
+    cells = _scenario_sweep().cells()
+    assert len(cells) == 2
+    assert [cell.label for cell in cells] == [
+        "movielens/full-sharing/scenario=static",
+        "movielens/full-sharing/scenario=churn-partition",
+    ]
+
+
+def test_scenario_spec_hash_survives_the_json_round_trip():
+    spec = ExperimentSpec(
+        workload="movielens",
+        scheme=SchemeSpec("full-sharing"),
+        overrides={**TINY, "scenario": CHURN},
+    )
+    rebuilt = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert rebuilt == spec
+    assert rebuilt.content_hash() == spec.content_hash()
+
+
+def test_scenario_change_invalidates_the_hash():
+    base = ExperimentSpec(
+        workload="movielens", scheme=SchemeSpec("full-sharing"), overrides=dict(TINY)
+    )
+    churned = ExperimentSpec(
+        workload="movielens",
+        scheme=SchemeSpec("full-sharing"),
+        overrides={**TINY, "scenario": CHURN},
+    )
+    assert base.content_hash() != churned.content_hash()
+
+
+def test_scenario_spec_builds_a_config_with_the_schedule():
+    spec = ExperimentSpec(
+        workload="movielens",
+        scheme=SchemeSpec("full-sharing"),
+        overrides={**TINY, "scenario": CHURN},
+    )
+    _, _, config, _ = spec.build()
+    assert config.scenario is not None
+    assert config.scenario.name == "churn-partition"
+    assert config.scenario.to_dict() == CHURN
+
+
+def test_churn_sweep_is_bit_identical_serial_vs_pool(tmp_path):
+    sweep = _scenario_sweep()
+    serial_store = ResultStore(tmp_path / "serial.jsonl")
+    pool_store = ResultStore(tmp_path / "pool.jsonl")
+    run_sweep(sweep, serial_store, workers=1)
+    run_sweep(sweep, pool_store, workers=2)
+    serial_bytes = (tmp_path / "serial.jsonl").read_bytes()
+    pool_bytes = (tmp_path / "pool.jsonl").read_bytes()
+    assert serial_bytes == pool_bytes
+
+
+def test_churn_sweep_resumes_from_its_store(tmp_path):
+    sweep = _scenario_sweep()
+    store = ResultStore(tmp_path / "store.jsonl")
+    first = run_sweep(sweep, store, workers=1)
+    assert len(first.executed) == 2
+    resumed = run_sweep(sweep, ResultStore(tmp_path / "store.jsonl"), workers=1)
+    assert len(resumed.executed) == 0
+    assert len(resumed.skipped) == 2
+    for spec in sweep.expand():
+        assert resumed.result_for(spec).to_dict() == first.result_for(spec).to_dict()

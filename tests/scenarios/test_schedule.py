@@ -1,0 +1,161 @@
+"""Tests for ScenarioSchedule: validation, state computation, round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios import (
+    NodeOutage,
+    PartitionWindow,
+    ScenarioSchedule,
+    StragglerWindow,
+)
+from repro.topology.policy import GeneratorPolicy
+
+
+def _rich_schedule() -> ScenarioSchedule:
+    return ScenarioSchedule(
+        name="everything",
+        topology=GeneratorPolicy(
+            generator="small-world", rewire_every=2, params=(("beta", 0.25),)
+        ),
+        outages=(
+            NodeOutage(node=1, start_round=2, end_round=4),
+            NodeOutage(node=3, start_round=5),  # never returns
+        ),
+        partitions=(
+            PartitionWindow(start_round=3, end_round=6, groups=((0, 1), (2, 3))),
+        ),
+        stragglers=(
+            StragglerWindow(start_round=1, end_round=8, nodes=(0,), slowdown=3.0),
+            StragglerWindow(start_round=4, end_round=6, nodes=(0, 2), slowdown=2.0),
+        ),
+    )
+
+
+class TestValidation:
+    def test_default_is_trivial(self):
+        schedule = ScenarioSchedule()
+        assert schedule.is_trivial
+        assert not schedule.has_events
+
+    def test_events_make_it_non_trivial(self):
+        schedule = ScenarioSchedule(outages=(NodeOutage(node=0, start_round=1, end_round=2),))
+        assert schedule.has_events and not schedule.is_trivial
+
+    def test_rewiring_alone_is_non_trivial_but_event_free(self):
+        schedule = ScenarioSchedule(topology=GeneratorPolicy(rewire_every=1))
+        assert not schedule.has_events
+        assert not schedule.is_trivial
+
+    def test_rejects_bad_windows(self):
+        with pytest.raises(ConfigurationError):
+            NodeOutage(node=0, start_round=3, end_round=3)
+        with pytest.raises(ConfigurationError):
+            NodeOutage(node=-1, start_round=0, end_round=1)
+        with pytest.raises(ConfigurationError):
+            PartitionWindow(start_round=0, end_round=2, groups=((0, 1),))
+        with pytest.raises(ConfigurationError):
+            PartitionWindow(start_round=0, end_round=2, groups=((0, 1), (1, 2)))
+        with pytest.raises(ConfigurationError):
+            StragglerWindow(start_round=0, end_round=2, nodes=(0,), slowdown=0.5)
+        with pytest.raises(ConfigurationError):
+            StragglerWindow(start_round=0, end_round=2, nodes=(), slowdown=2.0)
+
+    def test_validate_for_checks_node_ids(self):
+        schedule = ScenarioSchedule(outages=(NodeOutage(node=9, start_round=0, end_round=1),))
+        with pytest.raises(ConfigurationError, match="node 9"):
+            schedule.validate_for(4)
+        schedule.validate_for(10)  # fits a larger deployment
+
+    def test_all_nodes_offline_rejected(self):
+        schedule = ScenarioSchedule(
+            outages=tuple(NodeOutage(node=n, start_round=1, end_round=2) for n in range(3))
+        )
+        with pytest.raises(ConfigurationError, match="no active nodes"):
+            schedule.state_at(1, 3)
+
+
+class TestStateAt:
+    def test_trivial_state(self):
+        state = ScenarioSchedule().state_at(0, 4)
+        assert state.active == (0, 1, 2, 3)
+        assert state.partition_ids == (None, None, None, None)
+        assert state.slowdowns == (1.0, 1.0, 1.0, 1.0)
+        assert state.max_slowdown() == 1.0
+        assert state.allows(0, 3)
+
+    def test_outage_windows(self):
+        schedule = _rich_schedule()
+        assert schedule.state_at(1, 4).active == (0, 1, 2, 3)
+        assert schedule.state_at(2, 4).active == (0, 2, 3)  # node 1 down
+        assert schedule.state_at(4, 4).active == (0, 1, 2, 3)  # node 1 back
+        assert schedule.state_at(7, 4).active == (0, 1, 2)  # node 3 gone forever
+        assert not schedule.state_at(2, 4).is_active(1)
+        assert not schedule.state_at(2, 4).allows(0, 1)  # offline receiver
+        assert not schedule.state_at(2, 4).allows(1, 0)  # offline sender
+
+    def test_partition_window(self):
+        schedule = _rich_schedule()
+        inside = schedule.state_at(4, 4)
+        assert inside.partition_ids == (0, 0, 1, 1)
+        assert inside.allows(0, 1)
+        assert not inside.allows(1, 2)
+        outside = schedule.state_at(6, 4)
+        assert outside.partition_ids == (None,) * 4
+        assert outside.allows(1, 2)
+
+    def test_unlisted_nodes_form_the_remainder_group(self):
+        schedule = ScenarioSchedule(
+            partitions=(PartitionWindow(start_round=0, end_round=2, groups=((0,), (1,))),)
+        )
+        state = schedule.state_at(0, 4)
+        assert state.allows(2, 3)  # both unlisted: they keep talking
+        assert not state.allows(0, 2)
+
+    def test_overlapping_stragglers_multiply(self):
+        schedule = _rich_schedule()
+        assert schedule.state_at(2, 4).slowdowns[0] == 3.0
+        assert schedule.state_at(4, 4).slowdowns[0] == 6.0
+        assert schedule.state_at(4, 4).slowdowns[2] == 2.0
+        assert schedule.state_at(4, 4).max_slowdown() == 6.0
+
+    def test_max_slowdown_ignores_offline_nodes(self):
+        schedule = ScenarioSchedule(
+            outages=(NodeOutage(node=0, start_round=0, end_round=2),),
+            stragglers=(StragglerWindow(start_round=0, end_round=2, nodes=(0,), slowdown=9.0),),
+        )
+        assert schedule.state_at(0, 4).max_slowdown() == 1.0
+
+
+class TestRoundTrips:
+    def test_trivial_round_trip_is_exact(self):
+        schedule = ScenarioSchedule()
+        rebuilt = ScenarioSchedule.from_dict(json.loads(json.dumps(schedule.to_dict())))
+        assert rebuilt == schedule
+
+    def test_rich_round_trip_is_exact(self):
+        schedule = _rich_schedule()
+        rebuilt = ScenarioSchedule.from_dict(json.loads(json.dumps(schedule.to_dict())))
+        assert rebuilt == schedule
+        assert rebuilt.to_dict() == schedule.to_dict()
+
+    def test_unknown_fields_rejected(self):
+        data = ScenarioSchedule().to_dict()
+        data["weather"] = "rainy"
+        with pytest.raises(ConfigurationError, match="weather"):
+            ScenarioSchedule.from_dict(data)
+
+    def test_constructor_coerces_nested_dicts(self):
+        data = _rich_schedule().to_dict()
+        schedule = ScenarioSchedule(
+            name=data["name"],
+            topology=data["topology"],
+            outages=tuple(data["outages"]),
+            partitions=tuple(data["partitions"]),
+            stragglers=tuple(data["stragglers"]),
+        )
+        assert schedule == _rich_schedule()

@@ -105,9 +105,20 @@ def test_async_round_end_hook_reports_the_finishing_node():
     assert finishing_nodes == set(range(ASYNC_CONFIG.num_nodes))
 
 
-def test_async_rejects_dynamic_topology():
-    with pytest.raises(ConfigurationError):
-        replace(ASYNC_CONFIG, dynamic_topology=True)
+def test_async_supports_dynamic_topology():
+    # Historically rejected; the scenario subsystem made rewiring well-defined
+    # under gossip (the policy fires on global-round advancement).
+    config = replace(ASYNC_CONFIG, dynamic_topology=True)
+    result = run_experiment(make_toy_task(), full_sharing_factory(), config)
+    assert result.rounds_completed == config.rounds
+    assert result.execution == "async"
+
+
+def test_async_dynamic_topology_is_deterministic():
+    config = replace(ASYNC_CONFIG, dynamic_topology=True)
+    first = run_experiment(make_toy_task(), full_sharing_factory(), config)
+    second = run_experiment(make_toy_task(), full_sharing_factory(), config)
+    assert first.to_dict() == second.to_dict()
 
 
 def test_async_early_stop_at_target():

@@ -35,7 +35,6 @@ def test_defaults_are_valid():
         {"compute_speed_range": (3.0, 2.0)},
         {"bandwidth_scale_range": (-1.0, 1.0)},
         {"link_latency_jitter_seconds": -0.1},
-        {"execution": "async", "dynamic_topology": True},
     ],
 )
 def test_invalid_configurations_raise(kwargs):

@@ -110,6 +110,17 @@ class TestExperimentConfigRoundTrip:
         assert rebuilt == config
         assert isinstance(rebuilt.time_model, HeterogeneousTimeModel)
 
+    def test_scenario_survives_the_round_trip(self):
+        from repro.scenarios import ScenarioSchedule, get_scenario
+
+        config = ExperimentConfig(
+            num_nodes=8, scenario=get_scenario("churn-partition", num_nodes=8, rounds=50)
+        )
+        rebuilt = ExperimentConfig.from_dict(_json_round_trip(config.to_dict()))
+        assert rebuilt == config
+        assert isinstance(rebuilt.scenario, ScenarioSchedule)
+        assert rebuilt.scenario.to_dict() == config.scenario.to_dict()
+
     def test_unknown_field_rejected(self):
         data = ExperimentConfig().to_dict()
         data["warp_factor"] = 9

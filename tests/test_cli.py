@@ -244,3 +244,108 @@ def test_main_compares_multiple_schemes(capsys):
     assert exit_code == 0
     assert "jwins" in captured
     assert "random-sampling" in captured
+
+
+# -- scenarios --------------------------------------------------------------------
+
+
+def test_list_scenarios_exits_zero_and_prints_presets(capsys):
+    assert main(["--list-scenarios"]) == 0
+    captured = capsys.readouterr().out
+    for name in ("static", "dynamic", "churn", "partition", "stragglers"):
+        assert name in captured
+    assert "running" not in captured
+
+
+def test_run_with_scenario_preset(capsys):
+    exit_code = main(
+        ["--workload", "movielens", "--scheme", "jwins", "--nodes", "4",
+         "--degree", "2", "--rounds", "3", "--scenario", "churn-partition"]
+    )
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "scenario=churn-partition" in captured
+    assert "final acc" in captured
+
+
+def test_run_with_scenario_json_file(tmp_path, capsys):
+    import json
+
+    from repro.scenarios import get_scenario
+
+    path = tmp_path / "my-scenario.json"
+    path.write_text(json.dumps(get_scenario("partition", num_nodes=4, rounds=3).to_dict()))
+    exit_code = main(
+        ["--workload", "movielens", "--scheme", "jwins", "--nodes", "4",
+         "--degree", "2", "--rounds", "3", "--scenario", str(path)]
+    )
+    assert exit_code == 0
+    assert "scenario=partition" in capsys.readouterr().out
+
+
+def test_run_async_with_scenario(capsys):
+    exit_code = main(
+        ["--workload", "movielens", "--scheme", "jwins", "--nodes", "4",
+         "--degree", "2", "--rounds", "3", "--scenario", "churn",
+         "--execution", "async"]
+    )
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "execution=async scenario=churn" in captured
+
+
+def test_run_async_with_dynamic_topology_now_works(capsys):
+    exit_code = main(
+        ["--workload", "movielens", "--scheme", "jwins", "--nodes", "4",
+         "--degree", "2", "--rounds", "2", "--dynamic-topology",
+         "--execution", "async"]
+    )
+    assert exit_code == 0
+    assert "final acc" in capsys.readouterr().out
+
+
+def test_unknown_scenario_rejected_cleanly():
+    with pytest.raises(SystemExit, match="unknown scenario"):
+        main(["--workload", "movielens", "--scheme", "jwins", "--nodes", "4",
+              "--degree", "2", "--rounds", "2", "--scenario", "meteor-strike"])
+
+
+def test_bad_scenario_file_rejected_cleanly(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(SystemExit, match="not valid JSON"):
+        main(["--workload", "movielens", "--scheme", "jwins", "--nodes", "4",
+              "--degree", "2", "--rounds", "2", "--scenario", str(path)])
+
+
+def test_scenario_and_dynamic_topology_flags_conflict():
+    with pytest.raises(SystemExit, match="mutually exclusive"):
+        main(["--workload", "movielens", "--scheme", "jwins", "--nodes", "4",
+              "--degree", "2", "--rounds", "2", "--scenario", "churn",
+              "--dynamic-topology"])
+
+
+def test_scenario_too_large_for_deployment_rejected_cleanly(tmp_path):
+    import json
+
+    from repro.scenarios import get_scenario
+
+    path = tmp_path / "big.json"
+    path.write_text(json.dumps(get_scenario("churn", num_nodes=16, rounds=40).to_dict()))
+    with pytest.raises(SystemExit, match="nodes"):
+        main(["--workload", "movielens", "--scheme", "jwins", "--nodes", "4",
+              "--degree", "2", "--rounds", "2", "--scenario", str(path)])
+
+
+def test_sweep_with_scenario_axis(tmp_path, capsys):
+    store = tmp_path / "results.jsonl"
+    exit_code = main(
+        ["sweep", "--workload", "movielens", "--scheme", "jwins",
+         "--nodes", "4", "--degree", "2", "--rounds", "3",
+         "--scenario", "static", "churn-partition", "--store", str(store)]
+    )
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "executed 2 cell(s), skipped 0" in captured
+    assert "scenario=churn-partition" in captured
+    assert store.exists()
