@@ -12,6 +12,9 @@
 #   smoke        async gossip example + orchestration sweep resume smoke
 #   determinism  churn+partition sweep twice serially and once on 2 workers;
 #                the JSONL stores must be byte-for-byte identical
+#   checkpoint   SIGINT a 2-cell pool sweep mid-spec, resume it, and
+#                byte-compare the store against an uninterrupted run
+#                (the fourth determinism pillar), plus dry-run/compact smokes
 #
 # Each stage prints its wall-clock time on success.
 set -euo pipefail
@@ -114,7 +117,48 @@ stage_determinism() {
   _compare_stores "$CI_TMP/det-serial.jsonl" "$CI_TMP/det-pool.jsonl"  "worker count (1 vs 2)"
 }
 
-ALL_STAGES=(lint docs test bench smoke determinism)
+stage_checkpoint() {
+  # The fourth determinism pillar: interrupt-at-round-k + resume must be
+  # byte-identical to never having stopped.  Run a 2-cell sweep to
+  # completion, re-run it preemptibly on 2 workers and SIGINT it mid-spec
+  # (workers checkpoint their in-flight cells), resume, byte-compare.
+  local ck_args=(--workload movielens --scheme jwins full-sharing
+                 --nodes 6 --degree 2 --rounds 300 --seeds 1)
+  python -m repro.cli sweep "${ck_args[@]}" --store "$CI_TMP/ck-ref.jsonl" --workers 1 >/dev/null
+
+  python -m repro.cli sweep "${ck_args[@]}" --store "$CI_TMP/ck-intr.jsonl" \
+      --workers 2 --checkpoint-dir "$CI_TMP/ckpts" >"$CI_TMP/ck-intr.log" 2>&1 &
+  local sweep_pid=$!
+  sleep 4
+  kill -INT "$sweep_pid" 2>/dev/null || true
+  local interrupted_rc=0
+  wait "$sweep_pid" || interrupted_rc=$?
+  # 130 = paused mid-run (the expected path); 0 = a fast machine raced the
+  # sweep to completion, which still validates the byte-compare below.
+  if [[ "$interrupted_rc" != 130 && "$interrupted_rc" != 0 ]]; then
+    echo "checkpoint gate FAILED: interrupted sweep exited with $interrupted_rc"
+    cat "$CI_TMP/ck-intr.log"
+    return 1
+  fi
+  if [[ "$interrupted_rc" == 130 ]]; then
+    echo "checkpoint gate: sweep paused mid-spec ($(ls "$CI_TMP/ckpts" | grep -c ckpt) snapshot(s))"
+  else
+    echo "checkpoint gate: sweep finished before the SIGINT landed (still comparing)"
+  fi
+  python -m repro.cli sweep "${ck_args[@]}" --store "$CI_TMP/ck-intr.jsonl" \
+      --workers 2 --checkpoint-dir "$CI_TMP/ckpts" >/dev/null
+  _compare_stores "$CI_TMP/ck-ref.jsonl" "$CI_TMP/ck-intr.jsonl" "interrupt/resume"
+
+  # New-subcommand smokes: the expansion preview leaves no store behind, and
+  # compaction collapses a --force re-run to one row per cell.
+  python -m repro.cli sweep "${ck_args[@]}" --store "$CI_TMP/ck-dry.jsonl" --dry-run >/dev/null
+  test ! -e "$CI_TMP/ck-dry.jsonl"
+  python -m repro.cli sweep "${ck_args[@]}" --store "$CI_TMP/ck-ref.jsonl" --workers 1 --force >/dev/null
+  python -m repro.cli store compact --store "$CI_TMP/ck-ref.jsonl" \
+      | grep -q "4 line(s) -> 2 row(s)"
+}
+
+ALL_STAGES=(lint docs test bench smoke determinism checkpoint)
 
 run_stage() {
   local name="$1"

@@ -15,6 +15,10 @@ This library reproduces "Get More for Less in Decentralized Learning Systems"
 * :mod:`repro.scenarios` — declarative environment schedules (node churn,
   network partitions, straggler windows, topology rewiring policies) consumed
   by both execution modes;
+* :mod:`repro.checkpoint` — bit-identical mid-run snapshots
+  (:class:`~repro.checkpoint.SimulationSnapshot` with save/load/verify),
+  preemptible execution and scenario forking: interrupt at round *k* + resume
+  is byte-identical to never having stopped;
 * :mod:`repro.datasets` — the five synthetic workloads and non-IID partitioners;
 * :mod:`repro.nn` — the numpy neural-network substrate;
 * :mod:`repro.wavelets`, :mod:`repro.compression`, :mod:`repro.topology`,

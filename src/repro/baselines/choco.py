@@ -111,6 +111,42 @@ class ChocoScheme(SharingScheme):
         # Gossip correction towards the neighborhood average of public copies.
         return trained + self.gamma * (self._neighborhood_sum - self._x_hat)
 
+    # -- checkpointing -----------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Public copy, neighborhood sum and the in-flight update (if any)."""
+
+        own_update = (
+            None
+            if self._own_update is None
+            else [self._own_update[0].copy(), self._own_update[1].copy()]
+        )
+        return {
+            "x_hat": self._x_hat.copy(),
+            "neighborhood_sum": self._neighborhood_sum.copy(),
+            "own_update": own_update,
+        }
+
+    def load_state_dict(self, state) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+
+        x_hat = np.asarray(state["x_hat"], dtype=np.float64)
+        neighborhood_sum = np.asarray(state["neighborhood_sum"], dtype=np.float64)
+        if x_hat.size != self.model_size or neighborhood_sum.size != self.model_size:
+            raise SimulationError(
+                "checkpointed CHOCO state does not match this node's model size"
+            )
+        self._x_hat = x_hat.copy()
+        self._neighborhood_sum = neighborhood_sum.copy()
+        own_update = state["own_update"]
+        self._own_update = (
+            None
+            if own_update is None
+            else (
+                np.asarray(own_update[0], dtype=np.int64),
+                np.asarray(own_update[1], dtype=np.float64),
+            )
+        )
+
 
 def choco_factory(fraction: float = 0.2, gamma: float = 0.6, compress: bool = True):
     """Factory for :class:`ChocoScheme` nodes with the given budget and step size."""

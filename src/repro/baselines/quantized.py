@@ -93,6 +93,17 @@ class QuantizedSharingScheme(SharingScheme):
             )
         return result
 
+    # -- checkpointing -----------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The stochastic-rounding RNG state (the scheme's only mutable state)."""
+
+        return {"quantizer_rng": self._quantizer.rng_state}
+
+    def load_state_dict(self, state) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+
+        self._quantizer.rng_state = state["quantizer_rng"]
+
 
 def quantized_sharing_factory(bits: int = 4, bucket_size: int = 256):
     """Factory for :class:`QuantizedSharingScheme` nodes."""

@@ -1,0 +1,141 @@
+"""Cooperative preemption of running simulations.
+
+A preempted run does not die mid-round: it finishes the round it is in,
+captures a :class:`~repro.checkpoint.snapshot.SimulationSnapshot` at the next
+safe boundary and raises
+:class:`~repro.exceptions.ExperimentPaused`.  This module is the glue between
+an *external* stop request (``SIGINT`` on a sweep, a worker being reclaimed)
+and the engine's safe points:
+
+* every :class:`~repro.simulation.engine.Simulator` registers itself here for
+  the duration of its ``run()``;
+* :func:`request_preempt` — typically called from a signal handler — flags the
+  process as interrupted and asks every active simulator to stop at its next
+  checkpoint boundary;
+* :func:`install_preemption_handler` wires ``SIGINT`` to
+  :func:`request_preempt`; the sweep executor installs it in the main process
+  and in every pool worker while checkpointing is enabled;
+* :func:`preempt_after_round` is the deterministic variant used by tests and
+  budget-limited CI runs ("pause after N completed rounds").
+
+All state is per-process; pool workers inherit nothing and install their own
+handler via their initializer.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Any, Callable
+
+__all__ = [
+    "active_simulators",
+    "install_preemption_handler",
+    "interrupted",
+    "preempt_after_round",
+    "register",
+    "request_preempt",
+    "reset",
+    "restore_handler",
+    "should_stop",
+    "unregister",
+]
+
+_lock = threading.Lock()
+_active: list[Any] = []
+_interrupted = False
+_preempt_after_round: int | None = None
+
+
+def register(simulator: Any) -> None:
+    """Track ``simulator`` as running (called by ``Simulator.run``)."""
+
+    with _lock:
+        _active.append(simulator)
+
+
+def unregister(simulator: Any) -> None:
+    """Stop tracking ``simulator`` (its run ended, paused or crashed)."""
+
+    with _lock:
+        if simulator in _active:
+            _active.remove(simulator)
+
+
+def active_simulators() -> list[Any]:
+    """The simulators currently running in this process."""
+
+    with _lock:
+        return list(_active)
+
+
+def request_preempt() -> None:
+    """Flag the process as interrupted; runs pause at their next safe point.
+
+    Safe to call from a signal handler: it only flips a boolean and never
+    touches :data:`_lock` (a handler interrupting the lock's holder on the
+    same thread would deadlock).  Active simulators notice through
+    ``checkpoint_stop_pending()``, which consults :func:`should_stop` at
+    every snapshot-safe boundary.
+    """
+
+    global _interrupted
+    _interrupted = True
+
+
+def interrupted() -> bool:
+    """Whether :func:`request_preempt` fired in this process."""
+
+    return _interrupted
+
+
+def preempt_after_round(rounds: int | None) -> None:
+    """Deterministically pause runs once they complete ``rounds`` rounds.
+
+    ``None`` clears the threshold.  Unlike :func:`request_preempt` this does
+    not mark the process as interrupted — a sweep keeps submitting cells, and
+    each cell pauses itself at the threshold.
+    """
+
+    global _preempt_after_round
+    _preempt_after_round = None if rounds is None else int(rounds)
+
+
+def should_stop(rounds_completed: int) -> bool:
+    """Whether a run at ``rounds_completed`` must pause (engine safe points)."""
+
+    if _interrupted:
+        return True
+    return _preempt_after_round is not None and rounds_completed >= _preempt_after_round
+
+
+def reset() -> None:
+    """Clear the interrupted flag and the round threshold (tests, new sweeps)."""
+
+    global _interrupted
+    _interrupted = False
+    preempt_after_round(None)
+
+
+def install_preemption_handler() -> Callable[..., Any] | int | None:
+    """Route ``SIGINT`` to :func:`request_preempt`; returns the old handler.
+
+    Only the main thread of a process may install signal handlers; callers in
+    other threads get ``None`` back and no handler change.
+    """
+
+    if threading.current_thread() is not threading.main_thread():
+        return None
+    previous = signal.getsignal(signal.SIGINT)
+    signal.signal(signal.SIGINT, lambda signum, frame: request_preempt())
+    return previous
+
+
+def restore_handler(previous: Callable[..., Any] | int | None) -> None:
+    """Undo :func:`install_preemption_handler` (no-op for a ``None`` token)."""
+
+    if previous is None:
+        return
+    if threading.current_thread() is not threading.main_thread():
+        return
+    signal.signal(signal.SIGINT, previous)

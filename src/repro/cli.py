@@ -29,9 +29,17 @@ import sys
 from pathlib import Path
 from typing import Callable, Sequence
 
+from typing import Mapping
+
+from repro.checkpoint import CheckpointManager, SimulationSnapshot, preemption
 from repro.core.interface import SchemeFactory
 from repro.evaluation import WORKLOADS, get_workload, summarize_results
-from repro.exceptions import ConfigurationError, ReproError
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    ExperimentPaused,
+    ReproError,
+)
 from repro.scenarios import (
     SCENARIO_PRESETS,
     ScenarioSchedule,
@@ -40,6 +48,7 @@ from repro.scenarios import (
 )
 from repro.orchestration import (
     ARTIFACTS,
+    ExperimentSpec,
     ResultStore,
     SchemeSpec,
     Sweep,
@@ -49,6 +58,7 @@ from repro.orchestration import (
     describe_schemes,
     get_artifact,
     regenerate,
+    run_fork,
     run_sweep,
 )
 from repro.simulation import run_experiment
@@ -59,7 +69,11 @@ __all__ = ["build_cli_parser", "build_parser", "main", "scheme_factory_from_name
 
 SCHEME_CHOICES = available_schemes()
 
-SUBCOMMANDS = ("run", "sweep", "regenerate")
+SUBCOMMANDS = ("run", "sweep", "regenerate", "fork", "store")
+
+#: Exit code of a run/sweep that checkpointed itself after an interrupt
+#: (mirrors the conventional 128 + SIGINT).
+PAUSED_EXIT_CODE = 130
 
 
 def _scheme_params_from_args(name: str, args: argparse.Namespace) -> dict:
@@ -159,6 +173,29 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="time the engine phases (train/encode/aggregate/evaluate) and "
         "print a per-phase breakdown after each scheme",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="K",
+        help="snapshot the full mid-run state every K completed rounds into "
+        "--checkpoint-dir (0 = off); SIGINT then pauses the run at the next "
+        "round boundary instead of losing it",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="directory snapshots are written to (one latest snapshot per "
+        "experiment, plus a lineage.jsonl provenance log)",
+    )
+    parser.add_argument(
+        "--resume-from",
+        default=None,
+        metavar="SNAPSHOT",
+        help="continue a paused run from a snapshot file; the remaining "
+        "rounds produce results byte-identical to an uninterrupted run",
     )
     parser.add_argument(
         "--list-workloads",
@@ -277,7 +314,88 @@ def build_cli_parser() -> argparse.ArgumentParser:
         "rounds=2` (shrinks a preset for smoke runs; regenerate needs the same "
         "--scale to find the cells)",
     )
+    sweep_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the expanded cell list (content hash + label) and exit "
+        "without executing anything or touching the store",
+    )
+    sweep_parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="enable preemptible execution: SIGINT checkpoints in-flight cells "
+        "here and stops; re-running the same sweep resumes them mid-spec, "
+        "byte-identical to an uninterrupted run",
+    )
+    sweep_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="K",
+        help="per-cell snapshot cadence in completed rounds when "
+        "--checkpoint-dir is set (default 1)",
+    )
     sweep_parser.set_defaults(handler=_sweep_command)
+
+    fork_parser = subparsers.add_parser(
+        "fork",
+        help="replay a checkpoint under a mutated config axis (e.g. a different "
+        "scenario) without re-running the common prefix",
+    )
+    fork_parser.add_argument(
+        "--snapshot", required=True, help="snapshot file to fork from"
+    )
+    fork_parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME_OR_JSON",
+        help="scenario to replay the remaining rounds under (preset name or "
+        "ScenarioSchedule JSON file)",
+    )
+    fork_parser.add_argument(
+        "--set",
+        nargs="+",
+        default=None,
+        metavar="FIELD=VALUE",
+        help="config mutations for the forked future, e.g. `--set rounds=20 "
+        "message_drop_probability=0.2` (structural fields like num_nodes are "
+        "refused)",
+    )
+    fork_parser.add_argument(
+        "--rounds", type=int, default=None, help="round budget of the forked run"
+    )
+    fork_parser.add_argument(
+        "--store",
+        default=None,
+        help="JSONL store to append the forked result to (keyed by the forked "
+        "spec's hash, which records the fork lineage)",
+    )
+    fork_parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="make the forked run itself checkpointable",
+    )
+    fork_parser.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="K",
+        help="snapshot cadence of the forked run (requires --checkpoint-dir)",
+    )
+    fork_parser.set_defaults(handler=_fork_command)
+
+    store_parser = subparsers.add_parser(
+        "store", help="maintain a JSONL result store"
+    )
+    store_parser.add_argument(
+        "action",
+        choices=("compact",),
+        help="compact: rewrite the store dropping superseded/duplicate/corrupt "
+        "rows, printing a before/after summary",
+    )
+    store_parser.add_argument(
+        "--store", required=True, help="JSONL result store to operate on"
+    )
+    store_parser.set_defaults(handler=_store_command)
 
     regen_parser = subparsers.add_parser(
         "regenerate",
@@ -309,8 +427,12 @@ def build_cli_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _parse_scale(entries: Sequence[str] | None) -> dict | None:
-    """Parse ``--scale num_nodes=4 rounds=2`` pairs into an override mapping."""
+def _parse_scale(entries: Sequence[str] | None, flag: str = "--scale") -> dict | None:
+    """Parse ``--scale num_nodes=4 rounds=2`` pairs into an override mapping.
+
+    ``flag`` names the CLI option in error messages (``fork`` reuses the
+    parser for its ``--set`` mutations).
+    """
 
     if entries is None:
         return None
@@ -318,7 +440,7 @@ def _parse_scale(entries: Sequence[str] | None) -> dict | None:
     for entry in entries:
         field, separator, raw = entry.partition("=")
         if not separator or not field:
-            raise SystemExit(f"--scale entries must look like FIELD=VALUE, got {entry!r}")
+            raise SystemExit(f"{flag} entries must look like FIELD=VALUE, got {entry!r}")
         if raw.lower() in ("true", "false"):
             value: object = raw.lower() == "true"
         else:
@@ -360,6 +482,40 @@ def _resolve_scenario(value: str, num_nodes: int, rounds: int) -> ScenarioSchedu
         raise SystemExit(str(error))
 
 
+def _load_snapshot(path: str) -> SimulationSnapshot:
+    """Load and integrity-check a snapshot file, exiting cleanly on failure."""
+
+    try:
+        return SimulationSnapshot.load(path)
+    except CheckpointError as error:
+        raise SystemExit(str(error))
+
+
+def _spec_for_run(
+    args: argparse.Namespace, scheme_name: str, overrides: dict
+) -> ExperimentSpec:
+    """The :class:`ExperimentSpec` a flat ``run`` invocation is equivalent to.
+
+    Checkpoint-enabled runs route through the spec machinery so every
+    snapshot is tied to a content hash; the spec pins the CLI seed explicitly,
+    which makes its resolved seed (and therefore the results) identical to
+    the plain ``run_experiment`` path.
+    """
+
+    spec_overrides = dict(overrides)
+    spec_overrides["execution"] = args.execution
+    scenario = spec_overrides.get("scenario")
+    if scenario is not None and not isinstance(scenario, Mapping):
+        spec_overrides["scenario"] = scenario.to_dict()
+    return ExperimentSpec(
+        workload=args.workload,
+        scheme=SchemeSpec(
+            scheme_name, _scheme_params_from_args(scheme_name, args), label=scheme_name
+        ),
+        overrides=spec_overrides,
+    )
+
+
 # -- subcommand handlers ---------------------------------------------------------------
 def _handle_list_flags(args: argparse.Namespace) -> bool:
     """Print the requested registries; returns True when the CLI should exit 0."""
@@ -398,12 +554,24 @@ def _run_command(args: argparse.Namespace) -> int:
             "--scenario and --dynamic-topology are mutually exclusive; "
             "use --scenario dynamic for the per-round rewiring"
         )
+    if args.checkpoint_every < 0:
+        raise SystemExit("--checkpoint-every must be non-negative")
+    if args.checkpoint_every > 0 and args.checkpoint_dir is None:
+        raise SystemExit("--checkpoint-every requires --checkpoint-dir")
+    checkpointing = bool(
+        args.checkpoint_every or args.checkpoint_dir or args.resume_from
+    )
+    if args.resume_from is not None and len(args.scheme) != 1:
+        raise SystemExit("--resume-from resumes one run; pass exactly one --scheme")
 
     try:
         workload = get_workload(args.workload)
     except ConfigurationError as error:
         raise SystemExit(str(error))
-    task = workload.make_task(seed=args.seed)
+    # Checkpoint-enabled runs rebuild the task inside spec.run(); only the
+    # plain path needs it materialized here (dataset generation is the
+    # expensive part of a workload).
+    task = None if checkpointing else workload.make_task(seed=args.seed)
     overrides = {
         "seed": args.seed,
         "dynamic_topology": args.dynamic_topology,
@@ -433,17 +601,59 @@ def _run_command(args: argparse.Namespace) -> int:
     )
     results = {}
     for scheme_name in args.scheme:
-        factory = scheme_factory_from_name(scheme_name, args)
         print(f"running {scheme_name} ...")
         profiler = Profiler() if args.profile else None
-        try:
-            result = run_experiment(
-                task, factory, config, scheme_name=scheme_name, profiler=profiler
-            )
-        except ReproError as error:
-            # e.g. a scenario whose topology generator cannot fit the
-            # deployment — undefined setups exit cleanly, never a traceback.
-            raise SystemExit(f"cannot run {scheme_name}: {error}")
+        if checkpointing:
+            spec = _spec_for_run(args, scheme_name, overrides)
+            snapshot = None
+            if args.resume_from is not None:
+                snapshot = _load_snapshot(args.resume_from)
+                if snapshot.spec_hash() != spec.content_hash():
+                    embedded = snapshot.spec_hash()
+                    raise SystemExit(
+                        f"snapshot {args.resume_from!r} does not match this "
+                        f"invocation: it embeds spec hash "
+                        f"{'(none)' if embedded is None else embedded[:12] + '...'}, "
+                        f"the command line implies {spec.content_hash()[:12]}...; "
+                        "re-run with the original flags, or replay it under a "
+                        "changed config with `fork`"
+                    )
+            previous_handler = preemption.install_preemption_handler()
+            try:
+                result = spec.run(
+                    checkpoint_dir=args.checkpoint_dir,
+                    checkpoint_every=args.checkpoint_every,
+                    snapshot=snapshot,
+                    profiler=profiler,
+                )
+            except ExperimentPaused as paused:
+                round_index = paused.snapshot.rounds_completed
+                if args.checkpoint_dir is not None:
+                    path = CheckpointManager(args.checkpoint_dir).path_for(
+                        spec.content_hash()
+                    )
+                    print(
+                        f"paused {scheme_name} at round {round_index}; resume with "
+                        f"--resume-from {path}"
+                    )
+                else:
+                    print(f"paused {scheme_name} at round {round_index}")
+                return PAUSED_EXIT_CODE
+            except ReproError as error:
+                raise SystemExit(f"cannot run {scheme_name}: {error}")
+            finally:
+                preemption.restore_handler(previous_handler)
+                preemption.reset()
+        else:
+            factory = scheme_factory_from_name(scheme_name, args)
+            try:
+                result = run_experiment(
+                    task, factory, config, scheme_name=scheme_name, profiler=profiler
+                )
+            except ReproError as error:
+                # e.g. a scenario whose topology generator cannot fit the
+                # deployment — undefined setups exit cleanly, never a traceback.
+                raise SystemExit(f"cannot run {scheme_name}: {error}")
         results[scheme_name] = result
         if profiler is not None:
             print(f"\n[{scheme_name} profile]")
@@ -479,6 +689,9 @@ class _PrintingObserver(SweepObserver):
 
     def on_result(self, spec, result) -> None:
         print(f"finished {spec.label}: acc={100 * result.final_accuracy:.1f}%")
+
+    def on_pause(self, spec, rounds_completed) -> None:
+        print(f"paused {spec.label} at round {rounds_completed} (snapshot saved)")
 
 
 def _build_adhoc_sweep(args: argparse.Namespace) -> Sweep:
@@ -516,6 +729,8 @@ def _build_adhoc_sweep(args: argparse.Namespace) -> Sweep:
 def _sweep_command(args: argparse.Namespace) -> int:
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
+    if args.checkpoint_every < 0:
+        raise SystemExit("--checkpoint-every must be non-negative")
     scale = _parse_scale(args.scale)
     try:
         if args.preset is not None:
@@ -530,9 +745,22 @@ def _sweep_command(args: argparse.Namespace) -> int:
                     axes=sweep.axes,
                     base_overrides={**sweep.base_overrides, **scale},
                 )
-        sweep.cells()  # validate workloads/schemes/overrides before executing
+        cells = sweep.cells()  # validate workloads/schemes/overrides before executing
     except ConfigurationError as error:
         raise SystemExit(f"invalid sweep: {error}")
+
+    if args.dry_run:
+        # Expansion preview: content hash, resolved seed and label per cell,
+        # no execution and no store side effects.
+        seen: set[str] = set()
+        for cell in cells:
+            key = cell.spec.content_hash()
+            duplicate = "  (duplicate: executes once)" if key in seen else ""
+            seen.add(key)
+            print(f"{key}  seed={cell.spec.resolved_seed():<10d} {cell.label}{duplicate}")
+        print()
+        print(f"sweep={sweep.name}: {len(cells)} cell(s), {len(seen)} unique")
+        return 0
 
     store = ResultStore(args.store)
     print(
@@ -546,6 +774,8 @@ def _sweep_command(args: argparse.Namespace) -> int:
             workers=args.workers,
             observer=_PrintingObserver(announce_starts=args.workers == 1),
             force=args.force,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every if args.checkpoint_dir else 0,
         )
     except ConfigurationError as error:
         # e.g. an unknown --scale field, which only surfaces when a cell's
@@ -553,7 +783,72 @@ def _sweep_command(args: argparse.Namespace) -> int:
         raise SystemExit(f"invalid sweep: {error}")
     print()
     print(f"executed {len(outcome.executed)} cell(s), skipped {len(outcome.skipped)}")
+    if outcome.interrupted:
+        print(
+            f"sweep interrupted: {len(outcome.paused)} cell(s) checkpointed "
+            f"mid-run; re-run the same command to resume"
+        )
+        return PAUSED_EXIT_CODE
     print(summarize_results(outcome.labelled_results()))
+    return 0
+
+
+def _fork_command(args: argparse.Namespace) -> int:
+    if args.checkpoint_every < 0:
+        raise SystemExit("--checkpoint-every must be non-negative")
+    if args.checkpoint_every > 0 and args.checkpoint_dir is None:
+        raise SystemExit("--checkpoint-every requires --checkpoint-dir")
+    snapshot = _load_snapshot(args.snapshot)
+    mutations: dict = dict(_parse_scale(args.set, flag="--set") or {})
+    if args.rounds is not None:
+        mutations["rounds"] = args.rounds
+    if args.scenario is not None:
+        num_nodes = int(snapshot.config.get("num_nodes", 0))
+        rounds = int(mutations.get("rounds", snapshot.config.get("rounds", 0)))
+        mutations["scenario"] = _resolve_scenario(
+            args.scenario, num_nodes, rounds
+        ).to_dict()
+    try:
+        spec, result = run_fork(
+            snapshot,
+            mutations,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+        )
+    except ExperimentPaused as paused:
+        print(f"paused forked run at round {paused.snapshot.rounds_completed}")
+        return PAUSED_EXIT_CODE
+    except ReproError as error:
+        raise SystemExit(f"cannot fork: {error}")
+    lineage = spec.lineage or {}
+    print(
+        f"forked {spec.label} from round {lineage.get('round', snapshot.rounds_completed)}: "
+        f"parent spec {str(lineage.get('parent', ''))[:12]}... -> "
+        f"forked spec {spec.content_hash()[:12]}..."
+    )
+    if args.store is not None:
+        store = ResultStore(args.store)
+        store.put(spec, result)
+        print(f"stored forked result under {spec.content_hash()} in {args.store}")
+    print()
+    print(summarize_results({spec.label: result}))
+    return 0
+
+
+def _store_command(args: argparse.Namespace) -> int:
+    path = Path(args.store)
+    if not path.exists():
+        raise SystemExit(f"store {args.store!r} does not exist")
+    store = ResultStore(path)
+    try:
+        summary = store.compact()
+    except ConfigurationError as error:
+        raise SystemExit(str(error))
+    print(
+        f"compacted {args.store}: {summary['lines_before']} line(s) -> "
+        f"{summary['rows_after']} row(s) "
+        f"(dropped {summary['superseded']} superseded, {summary['corrupt']} corrupt)"
+    )
     return 0
 
 

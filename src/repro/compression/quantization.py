@@ -64,6 +64,16 @@ class QsgdQuantizer:
         self.levels = (1 << self.bits) - 1
         self._rng = rng if rng is not None else np.random.default_rng(0)
 
+    @property
+    def rng_state(self) -> dict:
+        """The stochastic-rounding stream's exact state (for checkpointing)."""
+
+        return self._rng.bit_generator.state
+
+    @rng_state.setter
+    def rng_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = dict(state)
+
     def quantize(self, values: np.ndarray) -> QuantizedVector:
         """Quantize ``values``; the expectation of dequantize(quantize(x)) is x."""
 

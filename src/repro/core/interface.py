@@ -13,11 +13,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Mapping
 
 import numpy as np
 
 from repro.compression.sizing import PayloadSize
+from repro.exceptions import SimulationError
 
 __all__ = ["Message", "RoundContext", "SchemeFactory", "SharingScheme"]
 
@@ -112,6 +113,28 @@ class SharingScheme(ABC):
         JWINS uses it for the end-of-round accumulator update (Equation 4);
         most schemes need no post-processing, hence the default no-op.
         """
+
+    # -- checkpointing -------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """The scheme's mutable cross-round state, for checkpointing.
+
+        Stateless schemes (full sharing, random sampling) inherit this empty
+        default.  Stateful schemes override it together with
+        :meth:`load_state_dict`; the returned mapping must only contain
+        numbers, strings, ``None``, numpy arrays and lists/dicts thereof so
+        :mod:`repro.checkpoint.serialization` can round-trip it exactly.
+        """
+
+        return {}
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        """Restore state captured by :meth:`state_dict` on a fresh instance."""
+
+        if state:
+            raise SimulationError(
+                f"scheme {self.name!r} is stateless but received state keys "
+                f"{sorted(state)}"
+            )
 
 
 SchemeFactory = Callable[[int, int, int], SharingScheme]

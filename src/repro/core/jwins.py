@@ -149,6 +149,29 @@ class JwinsScheme(SharingScheme):
     def finalize(self, context: RoundContext, new_params: np.ndarray) -> None:
         self.ranker.end_of_round(context.params_start, new_params)
 
+    # -- checkpointing -----------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Accumulated scores plus the in-flight round state (if any)."""
+
+        return {
+            "ranker": self.ranker.state_dict(),
+            "own_coefficients": (
+                None if self._own_coefficients is None else self._own_coefficients.copy()
+            ),
+            "last_alpha": None if self.last_alpha is None else float(self.last_alpha),
+        }
+
+    def load_state_dict(self, state) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+
+        self.ranker.load_state_dict(state["ranker"])
+        own = state["own_coefficients"]
+        self._own_coefficients = (
+            None if own is None else np.asarray(own, dtype=np.float64).copy()
+        )
+        alpha = state["last_alpha"]
+        self.last_alpha = None if alpha is None else float(alpha)
+
 
 def jwins_factory(config: JwinsConfig | None = None):
     """Return a :data:`~repro.core.interface.SchemeFactory` building JWINS nodes."""

@@ -72,3 +72,14 @@ class WaveletRanker:
             - np.asarray(params_start, dtype=np.float64)
         )
         self._accumulator.add(round_change)
+
+    # -- checkpointing --------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The persistent accumulator state, for checkpointing."""
+
+        return self._accumulator.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+
+        self._accumulator.load_state_dict(state)

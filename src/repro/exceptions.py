@@ -38,3 +38,21 @@ class ModelError(ReproError):
 
 class SimulationError(ReproError):
     """Raised when a decentralized-learning simulation is misconfigured."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a simulation snapshot cannot be saved, loaded or applied."""
+
+
+class ExperimentPaused(Exception):
+    """Control-flow signal: a run checkpointed itself and stopped early.
+
+    Deliberately *not* a :class:`ReproError` — catching library failures with
+    ``except ReproError`` must never swallow a pause.  The snapshot that was
+    just captured rides on the exception so the caller can persist or resume
+    it.
+    """
+
+    def __init__(self, snapshot: object) -> None:
+        super().__init__("experiment paused at a checkpoint")
+        self.snapshot = snapshot

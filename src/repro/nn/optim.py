@@ -57,3 +57,26 @@ class SGD:
             else:
                 update = gradient
             parameter.value -= self.lr * update
+
+    # -- checkpointing ------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The optimizer's mutable state (momentum buffers), for checkpointing."""
+
+        return {"velocity": [buffer.copy() for buffer in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+
+        velocity = [np.asarray(buffer, dtype=np.float64) for buffer in state["velocity"]]
+        if len(velocity) != len(self.parameters):
+            raise ModelError(
+                f"checkpointed optimizer holds {len(velocity)} momentum buffers, "
+                f"this optimizer tracks {len(self.parameters)} parameters"
+            )
+        for buffer, parameter in zip(velocity, self.parameters):
+            if buffer.shape != parameter.value.shape:
+                raise ModelError(
+                    f"momentum buffer shape {buffer.shape} does not match "
+                    f"parameter shape {parameter.value.shape}"
+                )
+        self._velocity = [buffer.copy() for buffer in velocity]

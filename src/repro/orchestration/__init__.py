@@ -39,6 +39,7 @@ from repro.orchestration.artifacts import (
     render_table1,
     table1_sweep,
 )
+from repro.orchestration.fork import build_forked_spec, run_fork
 from repro.orchestration.pool import SweepObserver, SweepOutcome, run_sweep
 from repro.orchestration.schemes import (
     SCHEME_REGISTRY,
@@ -64,6 +65,7 @@ __all__ = [
     "SweepOutcome",
     "TABLE1_WORKLOADS",
     "available_schemes",
+    "build_forked_spec",
     "build_scheme_factory",
     "describe_schemes",
     "fig6_sweep",
@@ -73,6 +75,7 @@ __all__ = [
     "render_fig6",
     "render_fig7",
     "render_table1",
+    "run_fork",
     "run_sweep",
     "table1_sweep",
 ]

@@ -10,6 +10,14 @@ Determinism does not depend on the worker count: each cell is an
 is rebuilt from its serialized form inside the worker, so a 2-worker run
 produces bit-identical results to a serial run (pinned by a test).
 
+With ``checkpoint_dir`` set the sweep becomes **preemptible**: ``SIGINT`` is
+routed to :mod:`repro.checkpoint.preemption` (in the main process and in every
+worker), in-flight cells finish their current round, snapshot themselves under
+their spec hash and stop, and not-yet-started cells are abandoned.  Re-running
+the same sweep resumes every paused cell *mid-spec* from its snapshot; the
+resulting store is byte-identical to an uninterrupted run's — the fourth
+determinism pillar.
+
 Progress is observable through :class:`SweepObserver` hooks — the resume
 acceptance test counts executed specs exactly this way, and the CLI uses the
 same hooks for its progress lines.
@@ -18,9 +26,14 @@ same hooks for its progress lines.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.checkpoint import preemption
+from repro.exceptions import ExperimentPaused
 from repro.orchestration.spec import ExperimentSpec
 from repro.orchestration.store import ResultStore
 from repro.orchestration.sweep import Sweep
@@ -48,6 +61,9 @@ class SweepObserver:
     def on_result(self, spec: ExperimentSpec, result: ExperimentResult) -> None:
         """``spec`` finished executing and its result was persisted."""
 
+    def on_pause(self, spec: ExperimentSpec, rounds_completed: int) -> None:
+        """``spec`` checkpointed itself at ``rounds_completed`` and stopped."""
+
 
 @dataclass
 class SweepOutcome:
@@ -57,7 +73,9 @@ class SweepOutcome:
     keyed by content hash; ``executed``/``skipped`` partition the *unique*
     specs by whether this invocation actually ran them (duplicate cells — the
     same content hash appearing twice in one sweep — execute once and appear
-    once).
+    once).  ``paused`` holds cells that checkpointed mid-run after a
+    preemption; ``interrupted`` is set when the sweep stopped before every
+    cell completed — re-run the same command to resume.
     """
 
     name: str
@@ -65,6 +83,8 @@ class SweepOutcome:
     results: dict[str, ExperimentResult] = field(default_factory=dict)
     executed: list[ExperimentSpec] = field(default_factory=list)
     skipped: list[ExperimentSpec] = field(default_factory=list)
+    paused: list[ExperimentSpec] = field(default_factory=list)
+    interrupted: bool = False
     #: Content hash -> human-readable cell label (axis values included when the
     #: sweep declared axes, so labels are unique within one sweep).
     labels: dict[str, str] = field(default_factory=dict)
@@ -75,19 +95,48 @@ class SweepOutcome:
         return self.results[spec.content_hash()]
 
     def labelled_results(self) -> dict[str, ExperimentResult]:
-        """``{cell label: result}`` for every requested spec, in sweep order."""
+        """``{cell label: result}`` for every spec that has a result, in order."""
 
         return {
             self.labels[spec.content_hash()]: self.results[spec.content_hash()]
             for spec in self.specs
+            if spec.content_hash() in self.results
         }
 
 
-def _execute_spec(spec_dict: dict[str, Any]) -> tuple[str, dict[str, Any]]:
-    """Worker entry point: rebuild the spec, run it, ship the result as a dict."""
+def _execute_spec_task(
+    task: tuple[dict[str, Any], str | None, int],
+) -> tuple[str, dict[str, Any]]:
+    """Preemptible worker entry point.
 
+    Returns ``(key, payload)`` with ``payload["status"]`` one of ``"done"``
+    (carries the result), ``"paused"`` (the cell checkpointed and stopped) or
+    ``"preempted"`` (the worker saw the interrupt before starting the cell,
+    draining the queue quickly).
+    """
+
+    spec_dict, checkpoint_dir, checkpoint_every = task
     spec = ExperimentSpec.from_dict(spec_dict)
-    return spec.content_hash(), spec.run().to_dict()
+    key = spec.content_hash()
+    if preemption.interrupted():
+        return key, {"status": "preempted"}
+    try:
+        result = spec.run(
+            checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every
+        )
+    except ExperimentPaused as paused:
+        return key, {
+            "status": "paused",
+            "rounds_completed": int(paused.snapshot.rounds_completed),
+        }
+    return key, {"status": "done", "result": result.to_dict()}
+
+
+def _worker_initializer() -> None:
+    """Pool-worker setup: route the worker's ``SIGINT`` to preemption."""
+
+    preemption.reset()
+    preemption.install_preemption_handler()
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -104,6 +153,8 @@ def run_sweep(
     workers: int = 1,
     observer: SweepObserver | None = None,
     force: bool = False,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 0,
 ) -> SweepOutcome:
     """Execute every cell of ``sweep`` that the store does not already hold.
 
@@ -118,10 +169,18 @@ def run_sweep(
         Process count; ``1`` executes in-process (fully synchronous, exception
         transparent), ``>= 2`` uses a ``multiprocessing`` pool.
     observer:
-        Optional :class:`SweepObserver` receiving skip/start/result events.
+        Optional :class:`SweepObserver` receiving skip/start/result/pause
+        events.
     force:
         Re-execute cells even when the store already holds them (the fresh
         result overwrites the stored one).
+    checkpoint_dir:
+        Directory for mid-spec snapshots; enables preemption (``SIGINT``
+        checkpoints in-flight cells and stops the sweep) and automatic
+        mid-spec resume on the next invocation.
+    checkpoint_every:
+        Cadence (in completed global rounds) of per-cell snapshots; requires
+        ``checkpoint_dir``.
     """
 
     if isinstance(sweep, Sweep):
@@ -165,17 +224,69 @@ def run_sweep(
         outcome.executed.append(spec)
         observer.on_result(spec, result)
 
-    if workers == 1 or len(pending) <= 1:
-        for spec in pending:
-            observer.on_start(spec)
-            record(spec, spec.run().to_dict())
-    else:
-        by_key = {spec.content_hash(): spec for spec in pending}
-        with _pool_context().Pool(processes=min(workers, len(pending))) as pool:
+    preemptible = checkpoint_dir is not None
+    previous_handler = preemption.install_preemption_handler() if preemptible else None
+    try:
+        if workers == 1 or len(pending) <= 1:
             for spec in pending:
+                if preemptible and preemption.interrupted():
+                    outcome.interrupted = True
+                    break
                 observer.on_start(spec)
-            for key, result_dict in pool.imap(
-                _execute_spec, [spec.to_dict() for spec in pending]
-            ):
-                record(by_key[key], result_dict)
+                try:
+                    result = spec.run(
+                        checkpoint_dir=checkpoint_dir,
+                        checkpoint_every=checkpoint_every,
+                    )
+                except ExperimentPaused as paused:
+                    outcome.paused.append(spec)
+                    outcome.interrupted = True
+                    observer.on_pause(spec, int(paused.snapshot.rounds_completed))
+                    break
+                record(spec, result.to_dict())
+        else:
+            by_key = {spec.content_hash(): spec for spec in pending}
+            tasks = [
+                (spec.to_dict(), checkpoint_dir, checkpoint_every) for spec in pending
+            ]
+            initializer = _worker_initializer if preemptible else None
+            with _pool_context().Pool(
+                processes=min(workers, len(pending)), initializer=initializer
+            ) as pool:
+                if preemptible and threading.current_thread() is threading.main_thread():
+                    # A SIGINT aimed at the parent alone (e.g. `kill -INT
+                    # <pid>`, a scheduler reclaiming the job) must still reach
+                    # the workers, or they would happily run every remaining
+                    # cell.  Forward it; workers signalled twice (process-group
+                    # delivery) just see an idempotent request_preempt().
+                    worker_pids = [
+                        process.pid for process in pool._pool if process.pid
+                    ]
+
+                    def _forward_interrupt(signum: int, frame: Any) -> None:
+                        preemption.request_preempt()
+                        for pid in worker_pids:
+                            try:
+                                os.kill(pid, signal.SIGINT)
+                            except ProcessLookupError:
+                                pass
+
+                    signal.signal(signal.SIGINT, _forward_interrupt)
+                for spec in pending:
+                    observer.on_start(spec)
+                for key, payload in pool.imap(_execute_spec_task, tasks):
+                    spec = by_key[key]
+                    status = payload["status"]
+                    if status == "done":
+                        record(spec, payload["result"])
+                    elif status == "paused":
+                        outcome.paused.append(spec)
+                        outcome.interrupted = True
+                        observer.on_pause(spec, int(payload["rounds_completed"]))
+                    else:  # preempted before start
+                        outcome.interrupted = True
+    finally:
+        if preemptible:
+            preemption.restore_handler(previous_handler)
+            preemption.reset()
     return outcome

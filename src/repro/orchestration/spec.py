@@ -25,14 +25,20 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from typing import TYPE_CHECKING
+
 from repro.core.interface import SchemeFactory
 from repro.datasets.base import LearningTask
 from repro.evaluation.workloads import Workload, get_workload
-from repro.exceptions import ConfigurationError
+from repro.exceptions import CheckpointError, ConfigurationError
 from repro.orchestration.schemes import SchemeSpec
 from repro.scenarios.schedule import ScenarioSchedule
 from repro.simulation import ExperimentConfig, ExperimentResult, run_experiment
 from repro.simulation.timing import time_model_from_dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.checkpoint.snapshot import SimulationSnapshot
+    from repro.utils.profiling import Profiler
 
 __all__ = ["ExperimentSpec"]
 
@@ -71,12 +77,21 @@ class ExperimentSpec:
         Seed for the dataset/task construction.  ``None`` (the default) ties
         it to the experiment seed, matching ``run_experiment`` call sites that
         build the task with the config's seed.
+    lineage:
+        Fork provenance: ``{"parent": <spec hash>, "snapshot": <snapshot
+        hash>, "round": k}`` when this spec was created by replaying a
+        checkpoint under a mutated config axis.  ``None`` (and absent from
+        :meth:`to_dict`) for ordinary specs, so pre-existing content hashes
+        are unchanged; when set it participates in the hash, making a forked
+        cell distinct from both its parent and a from-scratch run of the
+        mutated configuration (whose common prefix it did not re-execute).
     """
 
     workload: str
     scheme: SchemeSpec
     overrides: dict[str, Any] = field(default_factory=dict)
     task_seed: int | None = None
+    lineage: dict[str, Any] | None = None
 
     def __post_init__(self) -> None:
         get_workload(self.workload)  # fail fast on typos
@@ -84,17 +99,22 @@ class ExperimentSpec:
         # Canonicalize overrides so hashing is insensitive to tuple-vs-list
         # and the spec equals its own JSON round trip.
         object.__setattr__(self, "overrides", _jsonify(dict(self.overrides)))
+        if self.lineage is not None:
+            object.__setattr__(self, "lineage", _jsonify(dict(self.lineage)))
 
     # -- identity ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe representation; exact inverse of :meth:`from_dict`."""
 
-        return {
+        data = {
             "workload": self.workload,
             "scheme": self.scheme.to_dict(),
             "overrides": dict(self.overrides),
             "task_seed": self.task_seed,
         }
+        if self.lineage is not None:
+            data["lineage"] = dict(self.lineage)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
@@ -105,6 +125,7 @@ class ExperimentSpec:
             scheme=SchemeSpec.from_dict(data["scheme"]),
             overrides=dict(data.get("overrides", {})),
             task_seed=data.get("task_seed"),
+            lineage=data.get("lineage"),
         )
 
     def canonical_json(self) -> str:
@@ -162,8 +183,68 @@ class ExperimentSpec:
         task = workload.make_task(seed=self.resolved_task_seed())
         return task, self.scheme.build(), config, workload
 
-    def run(self) -> ExperimentResult:
-        """Execute this cell and return its result."""
+    def run(
+        self,
+        checkpoint_dir: "str | None" = None,
+        checkpoint_every: int = 0,
+        snapshot: "SimulationSnapshot | None" = None,
+        verify_spec: bool = True,
+        profiler: "Profiler | None" = None,
+    ) -> ExperimentResult:
+        """Execute this cell and return its result.
+
+        With ``checkpoint_dir`` set, the run becomes preemptible: snapshots
+        land under the spec's content hash every ``checkpoint_every`` global
+        rounds (and on a requested stop, which raises
+        :class:`~repro.exceptions.ExperimentPaused`), and an existing
+        snapshot for this spec is resumed automatically — mid-spec resume is
+        byte-identical to an uninterrupted run.  An explicit ``snapshot``
+        wins over the directory lookup; ``verify_spec=False`` relaxes the
+        snapshot-belongs-to-this-spec check (the ``fork`` workflow, which
+        replays a parent spec's snapshot under a mutated config).
+        """
 
         task, factory, config, _ = self.build()
-        return run_experiment(task, factory, config, scheme_name=self.scheme.label)
+        if checkpoint_dir is None and snapshot is None and checkpoint_every <= 0:
+            # The historical path, untouched: no checkpoint machinery at all.
+            return run_experiment(
+                task, factory, config, scheme_name=self.scheme.label, profiler=profiler
+            )
+
+        from repro.checkpoint.manager import CheckpointManager
+
+        if checkpoint_every > 0 and checkpoint_dir is None:
+            raise ConfigurationError(
+                "checkpoint_every requires a checkpoint_dir to save snapshots into"
+            )
+        manager = CheckpointManager(checkpoint_dir) if checkpoint_dir is not None else None
+        key = self.content_hash()
+        if snapshot is None and manager is not None:
+            snapshot = manager.load_for_spec(self)
+        if snapshot is not None and verify_spec and snapshot.spec_hash() != key:
+            raise CheckpointError(
+                f"snapshot embeds spec hash {str(snapshot.spec_hash())[:12]}..., "
+                f"this spec hashes to {key[:12]}...; refusing to resume a "
+                "different experiment (use fork to replay under a changed config)"
+            )
+        if snapshot is not None and manager is not None:
+            manager.record_lineage(
+                {
+                    "key": key,
+                    "action": "resume",
+                    "round": int(snapshot.rounds_completed),
+                    "snapshot_hash": snapshot.content_hash(),
+                    "spec_hash": snapshot.spec_hash(),
+                }
+            )
+        return run_experiment(
+            task,
+            factory,
+            config,
+            scheme_name=self.scheme.label,
+            profiler=profiler,
+            checkpoint_every=checkpoint_every,
+            checkpoint_sink=None if manager is None else manager.sink_for(key),
+            resume_from=snapshot,
+            spec=self.to_dict(),
+        )

@@ -18,9 +18,11 @@ and tests that only need the run/collect/render pipeline.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
+from repro.exceptions import ConfigurationError
 from repro.orchestration.spec import ExperimentSpec
 from repro.simulation import ExperimentResult
 
@@ -122,3 +124,51 @@ class ResultStore:
                 handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._records[key] = record
         return key
+
+    # -- maintenance ---------------------------------------------------------------
+    def compact(self) -> dict[str, int]:
+        """Rewrite the JSONL file keeping only the live row per content hash.
+
+        Append-only writes accumulate superseded rows (``--force`` re-runs,
+        ``last write wins`` duplicates) and the odd truncated line from an
+        interrupted writer.  Compaction rewrites the file atomically with
+        exactly one row per key — the same row :meth:`get` already serves, in
+        first-seen key order — so reads are unchanged, only the file shrinks.
+
+        Returns a summary: ``lines_before`` (non-empty lines in the old
+        file), ``rows_after``, ``superseded`` (valid rows dropped because a
+        newer row shares their key) and ``corrupt`` (undecodable lines
+        dropped).
+        """
+
+        if self.path is None:
+            raise ConfigurationError("an in-memory store has no file to compact")
+        if not self.path.exists():
+            raise ConfigurationError(f"store file {str(self.path)!r} does not exist")
+
+        lines_before = 0
+        corrupt = 0
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                lines_before += 1
+                try:
+                    record = json.loads(line)
+                    record["key"], record["spec"], record["result"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    corrupt += 1
+
+        temporary = self.path.with_name(self.path.name + ".compact.tmp")
+        with temporary.open("w", encoding="utf-8") as handle:
+            for record in self._records.values():
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        os.replace(temporary, self.path)
+        rows_after = len(self._records)
+        return {
+            "lines_before": lines_before,
+            "rows_after": rows_after,
+            "superseded": lines_before - corrupt - rows_after,
+            "corrupt": corrupt,
+        }

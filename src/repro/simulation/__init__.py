@@ -36,7 +36,7 @@ from repro.simulation.experiment import EXECUTION_MODES, ExperimentConfig
 from repro.simulation.metrics import ExperimentResult, RoundRecord
 from repro.simulation.network import ByteMeter
 from repro.simulation.node import SimulationNode
-from repro.simulation.runner import build_nodes, run_experiment
+from repro.simulation.runner import build_nodes, resume_experiment, run_experiment
 from repro.simulation.timing import HeterogeneousTimeModel, TimeModel, time_model_from_dict
 
 __all__ = [
@@ -56,6 +56,7 @@ __all__ = [
     "SynchronousMode",
     "TimeModel",
     "build_nodes",
+    "resume_experiment",
     "run_experiment",
     "time_model_from_dict",
 ]

@@ -25,14 +25,15 @@ API every benchmark and example uses.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
+from repro.checkpoint import preemption
 from repro.core.interface import Message, RoundContext, SchemeFactory
 from repro.datasets.base import LearningTask
 from repro.datasets.partition import partition_dataset
-from repro.exceptions import SimulationError
+from repro.exceptions import CheckpointError, ExperimentPaused, SimulationError
 from repro.scenarios.schedule import ScenarioSchedule, ScenarioState
 from repro.simulation.events import (
     AGGREGATE,
@@ -50,6 +51,9 @@ from repro.topology.graphs import Topology
 from repro.topology.weights import metropolis_hastings_weights
 from repro.utils.profiling import PhaseTimer, Profiler
 from repro.utils.rng import SeedSequenceFactory
+
+if TYPE_CHECKING:  # pragma: no cover - lazy runtime import avoids a cycle
+    from repro.checkpoint.snapshot import SimulationSnapshot
 
 __all__ = [
     "AsynchronousMode",
@@ -183,6 +187,23 @@ class Simulator:
         wall-clock cost of the engine phases (``train``/``encode``/
         ``aggregate``/``evaluate``); its totals and per-round rows are copied
         onto the result after the run.
+    checkpoint_every:
+        Capture a :class:`~repro.checkpoint.snapshot.SimulationSnapshot`
+        every this many completed (global) rounds and hand it to
+        ``checkpoint_sink``.  ``0`` (the default) disables cadence
+        checkpointing; snapshots are then only taken when a stop is requested
+        (:meth:`request_checkpoint_stop`).  With checkpointing disabled the
+        engine's behaviour is bit-identical to a build without the feature.
+    checkpoint_sink:
+        Callable receiving each captured snapshot (e.g.
+        ``CheckpointManager.sink_for(key)``).
+    resume_from:
+        A snapshot to continue from: the simulator is built normally, then
+        the snapshot's state is overlaid so the run picks up exactly where it
+        paused — byte-identical to never having stopped.
+    spec:
+        Optional ``ExperimentSpec.to_dict()`` payload embedded in every
+        captured snapshot, tying it to its orchestration cell.
     """
 
     def __init__(
@@ -193,6 +214,10 @@ class Simulator:
         scheme_name: str | None = None,
         mode: ExecutionMode | None = None,
         profiler: Profiler | None = None,
+        checkpoint_every: int = 0,
+        checkpoint_sink: Callable[["SimulationSnapshot"], None] | None = None,
+        resume_from: "SimulationSnapshot | None" = None,
+        spec: dict[str, Any] | None = None,
     ) -> None:
         self.task = task
         self.config = config
@@ -229,6 +254,18 @@ class Simulator:
         self._message_callbacks: list[MessageCallback] = []
         self._evaluate_callbacks: list[EvaluateCallback] = []
         self._ran = False
+
+        if checkpoint_every < 0:
+            raise CheckpointError("checkpoint_every must be non-negative")
+        self.checkpoint_every = int(checkpoint_every)
+        self.checkpoint_sink = checkpoint_sink
+        self.spec_payload = dict(spec) if spec is not None else None
+        self._stop_requested = False
+        self.resume_state: "SimulationSnapshot | None" = None
+        if resume_from is not None:
+            from repro.checkpoint.snapshot import restore_simulator
+
+            restore_simulator(self, resume_from)
 
     # -- observer hooks ------------------------------------------------------------
     def on_round_end(self, callback: RoundEndCallback) -> "Simulator":
@@ -275,6 +312,68 @@ class Simulator:
     def emit_message(self, message: Message, receiver: int, now: float) -> None:
         for callback in self._message_callbacks:
             callback(message, receiver, now)
+
+    # -- checkpointing -------------------------------------------------------------
+    def request_checkpoint_stop(self) -> None:
+        """Ask the run to snapshot and pause at its next safe boundary.
+
+        Safe to call from a signal handler or another thread (it only sets a
+        flag).  The engine finishes the round it is in, captures a snapshot
+        and raises :class:`~repro.exceptions.ExperimentPaused` carrying it.
+        """
+
+        self._stop_requested = True
+
+    def checkpoint_stop_pending(self) -> bool:
+        """Whether a stop request (direct or process-wide preemption) is live."""
+
+        return self._stop_requested or preemption.should_stop(
+            self.result.rounds_completed
+        )
+
+    def checkpoint_point(self, build_mode_state: Callable[[], dict[str, Any]]) -> None:
+        """Execution modes call this at snapshot-safe round boundaries.
+
+        ``build_mode_state`` lazily produces the mode's private state (already
+        JSON-encoded), so quiet rounds cost one flag check and nothing more.
+        Captures a snapshot when the cadence is due or a stop is pending; a
+        pending stop then raises :class:`~repro.exceptions.ExperimentPaused`.
+        """
+
+        stopping = self.checkpoint_stop_pending()
+        due = (
+            self.checkpoint_sink is not None
+            and self.checkpoint_every > 0
+            and self.result.rounds_completed > 0
+            and self.result.rounds_completed % self.checkpoint_every == 0
+        )
+        if not (stopping or due):
+            return
+        from repro.checkpoint.snapshot import capture_snapshot
+
+        snapshot = capture_snapshot(self, build_mode_state())
+        if self.checkpoint_sink is not None:
+            self.checkpoint_sink(snapshot)
+        if stopping:
+            raise ExperimentPaused(snapshot)
+
+    def consume_resume_state(self, kind: str) -> "SimulationSnapshot | None":
+        """Hand the pending resume snapshot to the execution mode (once).
+
+        ``kind`` is the mode's name; a mismatch means the snapshot was taken
+        under a different schedule and cannot resume here.
+        """
+
+        if self.resume_state is None:
+            return None
+        snapshot = self.resume_state
+        if snapshot.mode_state.get("kind") != kind:
+            raise CheckpointError(
+                f"snapshot mode state is {snapshot.mode_state.get('kind')!r}, "
+                f"the running execution mode is {kind!r}"
+            )
+        self.resume_state = None
+        return snapshot
 
     # -- deployment helpers --------------------------------------------------------
     def profile(self, name: str) -> "PhaseTimer | _NullTimer":
@@ -419,14 +518,23 @@ class Simulator:
 
     # -- driving -------------------------------------------------------------------
     def run(self) -> ExperimentResult:
-        """Run the experiment once and return the finished result."""
+        """Run the experiment once and return the finished result.
+
+        Raises :class:`~repro.exceptions.ExperimentPaused` (carrying the
+        freshly captured snapshot) when a checkpoint-stop was requested; the
+        run can later be continued bit-identically via ``resume_from``.
+        """
 
         if self._ran:
             raise SimulationError(
                 "a Simulator instance is single-shot; build a new one to re-run"
             )
         self._ran = True
-        self.mode.run(self)
+        preemption.register(self)
+        try:
+            self.mode.run(self)
+        finally:
+            preemption.unregister(self)
         if self.profiler is not None:
             # Flush work recorded after the last round boundary (e.g. the
             # final evaluation) into a trailing row before copying.
@@ -471,8 +579,16 @@ class SynchronousMode(ExecutionMode):
         config = simulator.config
         nodes = simulator.nodes
         clock = 0.0
+        start_round = 0
+        resume = simulator.consume_resume_state(self.name)
+        if resume is not None:
+            # Everything else (models, RNG streams, meter, partial result,
+            # topology) was restored by the engine; the barrier clock and the
+            # next round index are the mode's only private state.
+            clock = float(resume.mode_state["clock"])
+            start_round = int(resume.rounds_completed)
 
-        for round_index in range(config.rounds):
+        for round_index in range(start_round, config.rounds):
             simulator.apply_topology_policy(round_index)
             state = simulator.scenario_state(round_index)
             active_nodes = [nodes[node_id] for node_id in state.active]
@@ -537,6 +653,9 @@ class SynchronousMode(ExecutionMode):
                     simulator.mark_profile_round(round_index)
                     break
             simulator.mark_profile_round(round_index)
+            # Snapshot-safe boundary: the round is fully accounted (models,
+            # meter, clock, evaluation) and nothing is in flight.
+            simulator.checkpoint_point(lambda: {"kind": self.name, "clock": clock})
 
         simulator.result.simulated_time_seconds = clock
         simulator.result.per_node_time_seconds = [clock] * config.num_nodes
@@ -604,6 +723,65 @@ class AsynchronousMode(ExecutionMode):
         last_fraction = [1.0] * num_nodes
         evaluated_through = 0
 
+        # Lazy import: the checkpoint package transitively imports this module.
+        from repro.checkpoint.serialization import (
+            decode_rng_state,
+            decode_value,
+            encode_rng_state,
+            encode_value,
+        )
+
+        resume = simulator.consume_resume_state(self.name)
+        if resume is not None:
+            # Under gossip the "mid-run state" is the whole event fabric: the
+            # queue (with its in-flight messages and original sequence
+            # numbers), per-node inboxes and live round contexts, the per-node
+            # round/clock counters and the latency jitter stream.
+            state = resume.mode_state
+            loop.restore(
+                [decode_value(event) for event in state["loop"]["events"]],
+                next_seq=state["loop"]["next_seq"],
+                now=state["loop"]["now"],
+            )
+            for node_id, entries in enumerate(state["inboxes"]):
+                for sender, round_sent, message in entries:
+                    inboxes[node_id][int(sender)] = (int(round_sent), decode_value(message))
+            contexts = [
+                None if context is None else decode_value(context)
+                for context in state["contexts"]
+            ]
+            node_round = [int(value) for value in state["node_round"]]
+            node_clock = [float(value) for value in state["node_clock"]]
+            last_fraction = [float(value) for value in state["last_fraction"]]
+            evaluated_through = int(state["evaluated_through"])
+            decode_rng_state(latency_rng, state["latency_rng"])
+
+        def build_mode_state() -> dict:
+            return {
+                "kind": self.name,
+                "loop": {
+                    "now": float(loop.now),
+                    "next_seq": int(loop.next_seq),
+                    "events": [encode_value(event) for event in loop.pending()],
+                },
+                "inboxes": [
+                    [
+                        [int(sender), int(round_sent), encode_value(message)]
+                        for sender, (round_sent, message) in inbox.items()
+                    ]
+                    for inbox in inboxes
+                ],
+                "contexts": [
+                    None if context is None else encode_value(context)
+                    for context in contexts
+                ],
+                "node_round": [int(value) for value in node_round],
+                "node_clock": [float(value) for value in node_clock],
+                "last_fraction": [float(value) for value in last_fraction],
+                "evaluated_through": int(evaluated_through),
+                "latency_rng": encode_rng_state(latency_rng),
+            }
+
         def complete_round(node_id: int, now: float) -> bool:
             """Round bookkeeping shared by AGGREGATE and NODE_RESUME.
 
@@ -616,7 +794,8 @@ class AsynchronousMode(ExecutionMode):
             simulator.emit_round_end(node_round[node_id] - 1, node_id, now)
 
             global_round = min(node_round)
-            if global_round > simulator.result.rounds_completed:
+            advanced = global_round > simulator.result.rounds_completed
+            if advanced:
                 # One ByteMeter round per globally completed round, so
                 # per_round_bytes keeps its per-round meaning under gossip.
                 simulator.meter.end_round()
@@ -646,10 +825,17 @@ class AsynchronousMode(ExecutionMode):
             simulator.mark_profile_round(node_round[node_id] - 1)
             if node_round[node_id] < config.rounds:
                 loop.schedule(now, START_ROUND, node_id)
+            # Snapshot-safe boundary: the completing node's next round is
+            # scheduled, so the captured queue is self-consistent.  Cadence
+            # checkpoints key off *global* round advancement; stop requests
+            # are honoured at any completion.
+            if advanced or simulator.checkpoint_stop_pending():
+                simulator.checkpoint_point(build_mode_state)
             return True
 
-        for node in nodes:
-            loop.schedule(0.0, START_ROUND, node.node_id)
+        if resume is None:
+            for node in nodes:
+                loop.schedule(0.0, START_ROUND, node.node_id)
 
         while loop:
             event = loop.pop()

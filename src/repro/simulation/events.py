@@ -133,6 +133,37 @@ class EventLoop:
 
         self._heap.clear()
 
+    # -- checkpointing -------------------------------------------------------------
+    def pending(self) -> list[Event]:
+        """Every scheduled event in pop order (the loop is left untouched)."""
+
+        return [event for _, event in sorted(self._heap, key=lambda item: item[0])]
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next :meth:`schedule` call will assign."""
+
+        return self._seq
+
+    def restore(self, events: list[Event], next_seq: int, now: float) -> None:
+        """Reload a checkpointed queue: events keep their original ``seq``.
+
+        ``next_seq`` must not collide with a restored event's sequence number —
+        reusing one would silently break the deterministic pop order.
+        """
+
+        next_seq = int(next_seq)
+        for event in events:
+            if event.seq >= next_seq:
+                raise SimulationError(
+                    f"restored event seq {event.seq} collides with the next "
+                    f"schedule counter {next_seq}"
+                )
+        self._heap = [(event.sort_key, event) for event in events]
+        heapq.heapify(self._heap)
+        self._seq = next_seq
+        self._now = float(now)
+
     def __len__(self) -> int:
         return len(self._heap)
 

@@ -85,3 +85,29 @@ class ByteMeter:
     @property
     def per_round_bytes(self) -> list[float]:
         return list(self._round_bytes)
+
+    # -- checkpointing -------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Every counter the meter holds, for checkpointing."""
+
+        return {
+            "values_bytes": self._values_bytes.copy(),
+            "metadata_bytes": self._metadata_bytes.copy(),
+            "header_bytes": self._header_bytes.copy(),
+            "round_bytes": [float(total) for total in self._round_bytes],
+            "current_round_total": float(self._current_round_total),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore counters captured by :meth:`state_dict`."""
+
+        for name in ("values_bytes", "metadata_bytes", "header_bytes"):
+            counters = np.asarray(state[name], dtype=np.float64)
+            if counters.shape != (self.num_nodes,):
+                raise SimulationError(
+                    f"checkpointed meter field {name!r} has shape {counters.shape}, "
+                    f"expected ({self.num_nodes},)"
+                )
+            setattr(self, f"_{name}", counters.copy())
+        self._round_bytes = [float(total) for total in state["round_bytes"]]
+        self._current_round_total = float(state["current_round_total"])

@@ -110,3 +110,36 @@ class SimulationNode:
         outputs = np.concatenate(outputs_all, axis=0)
         self.model.train()
         return total_loss / count, float(accuracy_fn(outputs, targets))
+
+    # -- checkpointing ---------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The node's full mutable state: model, optimizer, RNG and scheme.
+
+        The dataset partition, loss and hyperparameters are *not* captured —
+        they are pure functions of the experiment configuration and seed, so
+        the checkpoint layer rebuilds the node first and then overlays this
+        state on top.
+        """
+
+        return {
+            "params": self.get_parameters(),
+            "optimizer": self.optimizer.state_dict(),
+            "rng": self._rng.bit_generator.state,
+            "last_train_loss": float(self.last_train_loss),
+            "scheme": self.scheme.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict` on a rebuilt node."""
+
+        params = np.asarray(state["params"], dtype=np.float64)
+        if params.size != self.get_parameters().size:
+            raise SimulationError(
+                f"checkpointed model for node {self.node_id} holds {params.size} "
+                f"parameters, this node's model holds {self.get_parameters().size}"
+            )
+        self.set_parameters(params)
+        self.optimizer.load_state_dict(state["optimizer"])
+        self._rng.bit_generator.state = dict(state["rng"])
+        self.last_train_loss = float(state["last_train_loss"])
+        self.scheme.load_state_dict(state["scheme"])

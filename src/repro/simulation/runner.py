@@ -1,15 +1,20 @@
-"""The one-call experiment facade.
+"""The one-call experiment facades.
 
 :func:`run_experiment` is a thin wrapper over
 :class:`~repro.simulation.engine.Simulator`: it builds the engine from the
 configuration (which selects the execution mode, ``"sync"`` lock-step rounds
-or ``"async"`` event-driven gossip) and runs it to completion.  Code that
-needs the engine's observer hooks or a custom
+or ``"async"`` event-driven gossip) and runs it to completion.
+:func:`resume_experiment` is the matching resume-from-snapshot entry point:
+given a :class:`~repro.checkpoint.snapshot.SimulationSnapshot`, it continues
+the run bit-identically to never having stopped.  Code that needs the
+engine's observer hooks or a custom
 :class:`~repro.simulation.engine.ExecutionMode` should construct the
 :class:`~repro.simulation.engine.Simulator` directly.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.interface import SchemeFactory
 from repro.datasets.base import LearningTask
@@ -18,7 +23,10 @@ from repro.simulation.experiment import ExperimentConfig
 from repro.simulation.metrics import ExperimentResult
 from repro.utils.profiling import Profiler
 
-__all__ = ["build_nodes", "run_experiment"]
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.checkpoint.snapshot import SimulationSnapshot
+
+__all__ = ["build_nodes", "resume_experiment", "run_experiment"]
 
 
 def run_experiment(
@@ -27,6 +35,10 @@ def run_experiment(
     config: ExperimentConfig,
     scheme_name: str | None = None,
     profiler: Profiler | None = None,
+    checkpoint_every: int = 0,
+    checkpoint_sink: Callable[["SimulationSnapshot"], None] | None = None,
+    resume_from: "SimulationSnapshot | None" = None,
+    spec: dict[str, Any] | None = None,
 ) -> ExperimentResult:
     """Run one decentralized-learning experiment and return its metrics.
 
@@ -37,9 +49,58 @@ def run_experiment(
     on the result; ``profiler`` (see :mod:`repro.utils.profiling`) opts into
     wall-clock phase timing, surfaced on
     :attr:`~repro.simulation.metrics.ExperimentResult.phase_seconds`.
+
+    The checkpoint parameters mirror the :class:`Simulator` constructor:
+    ``checkpoint_every``/``checkpoint_sink`` capture mid-run snapshots,
+    ``resume_from`` continues a paused run (see
+    :mod:`repro.checkpoint`), and ``spec`` tags snapshots with the
+    orchestration cell that produced them.  All default to off, in which case
+    behaviour is bit-identical to a build without checkpointing.
     """
 
     simulator = Simulator(
-        task, scheme_factory, config, scheme_name=scheme_name, profiler=profiler
+        task,
+        scheme_factory,
+        config,
+        scheme_name=scheme_name,
+        profiler=profiler,
+        checkpoint_every=checkpoint_every,
+        checkpoint_sink=checkpoint_sink,
+        resume_from=resume_from,
+        spec=spec,
     )
     return simulator.run()
+
+
+def resume_experiment(
+    task: LearningTask,
+    scheme_factory: SchemeFactory,
+    config: ExperimentConfig,
+    snapshot: "SimulationSnapshot",
+    scheme_name: str | None = None,
+    profiler: Profiler | None = None,
+    checkpoint_every: int = 0,
+    checkpoint_sink: Callable[["SimulationSnapshot"], None] | None = None,
+    spec: dict[str, Any] | None = None,
+) -> ExperimentResult:
+    """Continue a checkpointed experiment from ``snapshot`` to completion.
+
+    ``task``, ``scheme_factory`` and ``config`` must describe the same
+    deployment shape the snapshot was captured from (node count, model size,
+    execution mode); the hard determinism guarantee is that the returned
+    result is byte-identical to the uninterrupted run's.  Schedule-level
+    config changes (a different scenario, more rounds) are permitted — that
+    is the ``fork`` workflow.
+    """
+
+    return run_experiment(
+        task,
+        scheme_factory,
+        config,
+        scheme_name=scheme_name,
+        profiler=profiler,
+        checkpoint_every=checkpoint_every,
+        checkpoint_sink=checkpoint_sink,
+        resume_from=snapshot,
+        spec=spec,
+    )

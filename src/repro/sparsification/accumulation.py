@@ -60,3 +60,20 @@ class ResidualAccumulator:
         """Clear the accumulator entirely."""
 
         self._scores.fill(0.0)
+
+    # -- checkpointing --------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The accumulated scores, for checkpointing."""
+
+        return {"scores": self._scores.copy()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore scores captured by :meth:`state_dict`."""
+
+        scores = np.asarray(state["scores"], dtype=np.float64).ravel()
+        if scores.size != self._scores.size:
+            raise ConfigurationError(
+                f"checkpointed accumulator holds {scores.size} scores, "
+                f"this accumulator holds {self._scores.size}"
+            )
+        self._scores = scores.copy()

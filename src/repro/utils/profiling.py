@@ -114,6 +114,36 @@ class Profiler:
 
         return [dict(row) for row in self._round_rows]
 
+    # -- checkpointing ------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything recorded so far, so a resumed run can keep accumulating.
+
+        Wall-clock times are inherently not reproducible, so resumed profiles
+        are *continuous* (totals keep growing across the pause) rather than
+        bit-identical — which is also why profiling sits outside the
+        determinism contract.
+        """
+
+        return {
+            "totals": dict(self._totals),
+            "counts": dict(self._counts),
+            "round_rows": [dict(row) for row in self._round_rows],
+            "since_mark": dict(self._since_mark),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+
+        self._totals = {str(name): float(v) for name, v in state["totals"].items()}
+        self._counts = {str(name): int(v) for name, v in state["counts"].items()}
+        self._round_rows = [
+            {str(name): float(v) for name, v in row.items()}
+            for row in state["round_rows"]
+        ]
+        self._since_mark = {
+            str(name): float(v) for name, v in state["since_mark"].items()
+        }
+
 
 def format_profile(
     phase_seconds: dict[str, float],

@@ -1,0 +1,188 @@
+"""Exactness tests for the checkpoint codecs.
+
+Every codec must be lossless through a full JSON round trip — the determinism
+contract's fourth pillar (interrupt + resume is byte-identical) rests on it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.serialization import (
+    decode_rng_state,
+    decode_value,
+    encode_rng_state,
+    encode_value,
+    new_rng_from_state,
+)
+from repro.compression.sizing import PayloadSize
+from repro.core.interface import Message, RoundContext
+from repro.exceptions import CheckpointError
+from repro.simulation.events import DELIVER_MESSAGE, Event
+
+
+def roundtrip(value):
+    """Encode, push through real JSON text, decode."""
+
+    return decode_value(json.loads(json.dumps(encode_value(value))))
+
+
+# -- arrays ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "array",
+    [
+        np.arange(7, dtype=np.float64) / 3.0,
+        np.array([], dtype=np.float64),
+        np.array([np.nan, np.inf, -np.inf, -0.0, 1e-308]),
+        np.arange(12, dtype=np.int64).reshape(3, 4),
+        np.array([True, False, True]),
+        np.arange(6, dtype=np.float32).reshape(2, 3) * np.float32(0.1),
+    ],
+)
+def test_array_roundtrip_is_bit_exact(array):
+    restored = roundtrip(array)
+    assert restored.dtype == array.dtype
+    assert restored.shape == array.shape
+    assert np.array_equal(
+        restored.view(np.uint8) if restored.size else restored,
+        array.view(np.uint8) if array.size else array,
+    )
+
+
+def test_restored_array_is_writable():
+    restored = roundtrip(np.zeros(4))
+    restored[0] = 1.0  # frombuffer views are read-only; decode must copy
+
+
+def test_noncontiguous_array_roundtrip():
+    array = np.arange(20, dtype=np.float64).reshape(4, 5)[:, ::2]
+    restored = roundtrip(array)
+    assert np.array_equal(restored, array)
+
+
+# -- rng streams ----------------------------------------------------------------------
+def test_rng_state_roundtrip_reproduces_stream():
+    rng = np.random.default_rng(1234)
+    rng.random(17)  # consume a partial buffer so has_uint32 paths are hit
+    rng.integers(0, 100, 3)
+    state = json.loads(json.dumps(encode_rng_state(rng)))
+    clone = new_rng_from_state(state)
+    assert np.array_equal(rng.random(32), clone.random(32))
+    assert np.array_equal(rng.integers(0, 10**9, 8), clone.integers(0, 10**9, 8))
+
+
+def test_decode_rng_state_rejects_wrong_bit_generator():
+    rng = np.random.default_rng(0)
+    with pytest.raises(CheckpointError):
+        decode_rng_state(rng, {"bit_generator": "Philox", "state": {}})
+
+
+def test_generator_inside_value_roundtrips():
+    rng = np.random.default_rng(5)
+    rng.random(3)
+    restored = roundtrip({"stream": rng})
+    assert np.array_equal(restored["stream"].random(5), rng.random(5))
+
+
+# -- scalars and containers -----------------------------------------------------------
+def test_scalars_and_nan_roundtrip():
+    value = {"a": 1, "b": -0.5, "c": None, "d": True, "e": "text", "nan": float("nan")}
+    restored = roundtrip(value)
+    assert restored["a"] == 1 and restored["d"] is True
+    assert math.isnan(restored["nan"])
+
+
+def test_numpy_scalars_become_native():
+    restored = roundtrip({"i": np.int64(7), "f": np.float64(0.25), "b": np.bool_(True)})
+    assert restored == {"i": 7, "f": 0.25, "b": True}
+    assert type(restored["i"]) is int and type(restored["f"]) is float
+
+
+def test_int_keyed_mapping_preserves_keys_and_order():
+    mapping = {3: 0.3, 1: 0.1, 2: 0.2}
+    restored = roundtrip(mapping)
+    assert restored == mapping
+    assert list(restored) == [3, 1, 2]  # insertion order fixes FP summation order
+
+
+def test_tuples_come_back_as_lists():
+    assert roundtrip((1, 2, (3, 4))) == [1, 2, [3, 4]]
+
+
+def test_reserved_marker_key_is_refused():
+    with pytest.raises(CheckpointError):
+        encode_value({"__ndarray__": 1})
+
+
+def test_unencodable_type_is_refused():
+    with pytest.raises(CheckpointError):
+        encode_value(object())
+
+
+# -- simulation objects ---------------------------------------------------------------
+def make_message():
+    return Message(
+        sender=2,
+        kind="jwins-partial-wavelets",
+        payload={
+            "indices": np.array([1, 5, 9], dtype=np.int64),
+            "values": np.array([0.1, -0.2, 0.3]),
+            "alpha": 0.37,
+            "coefficient_size": 16,
+        },
+        size=PayloadSize(values_bytes=12, metadata_bytes=3),
+        shared_fraction=0.1875,
+    )
+
+
+def test_message_roundtrip():
+    message = make_message()
+    restored = roundtrip(message)
+    assert isinstance(restored, Message)
+    assert restored.sender == 2 and restored.kind == message.kind
+    assert restored.size == message.size
+    assert restored.shared_fraction == message.shared_fraction
+    assert np.array_equal(restored.payload["indices"], message.payload["indices"])
+    assert np.array_equal(restored.payload["values"], message.payload["values"])
+
+
+def test_event_roundtrip_preserves_seq_and_payload():
+    event = Event(
+        time=1.5,
+        kind=DELIVER_MESSAGE,
+        node_id=4,
+        seq=17,
+        data={"message": make_message(), "round": 3},
+    )
+    restored = roundtrip(event)
+    assert isinstance(restored, Event)
+    assert restored.sort_key == event.sort_key
+    assert restored.data["round"] == 3
+    assert isinstance(restored.data["message"], Message)
+
+
+def test_round_context_roundtrip_with_partially_consumed_rng():
+    rng = np.random.default_rng(99)
+    rng.random(4)
+    context = RoundContext(
+        round_index=6,
+        params_start=np.arange(5, dtype=np.float64),
+        params_trained=np.arange(5, dtype=np.float64) + 0.5,
+        self_weight=0.4,
+        neighbor_weights={3: 0.3, 1: 0.3},
+        rng=rng,
+        now=2.25,
+        node_id=0,
+    )
+    restored = roundtrip(context)
+    assert isinstance(restored, RoundContext)
+    assert restored.round_index == 6 and restored.node_id == 0
+    assert restored.neighbor_weights == {3: 0.3, 1: 0.3}
+    assert list(restored.neighbor_weights) == [3, 1]
+    assert np.array_equal(restored.params_trained, context.params_trained)
+    # The restored RNG continues exactly where the original stream stands.
+    assert np.array_equal(restored.rng.random(6), rng.random(6))

@@ -1,0 +1,223 @@
+"""The fourth determinism pillar: interrupt + resume is byte-identical.
+
+Both execution modes, with and without an active scenario schedule, with
+cadence snapshots and with explicit stop requests — in every case the resumed
+:class:`~repro.simulation.metrics.ExperimentResult` must serialize to exactly
+the bytes the uninterrupted run produces.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.baselines import choco_factory
+from repro.checkpoint import CheckpointManager, SimulationSnapshot, capture_snapshot
+from repro.core import jwins_factory
+from repro.exceptions import ExperimentPaused
+from repro.scenarios import get_scenario
+from repro.simulation import (
+    ExperimentConfig,
+    resume_experiment,
+    run_experiment,
+)
+from repro.simulation.engine import Simulator
+from tests.conftest import make_toy_task
+
+ROUNDS = 6
+
+
+def build_config(execution: str, scenario: bool) -> ExperimentConfig:
+    overrides = dict(
+        num_nodes=6,
+        degree=2,
+        rounds=ROUNDS,
+        local_steps=1,
+        batch_size=8,
+        learning_rate=0.1,
+        eval_every=2,
+        eval_test_samples=48,
+        seed=3,
+        partition="shards",
+        execution=execution,
+        message_drop_probability=0.1,
+    )
+    if execution == "async":
+        overrides.update(
+            compute_speed_range=(1.0, 2.0), link_latency_jitter_seconds=0.01
+        )
+    if scenario:
+        overrides["scenario"] = get_scenario(
+            "churn-partition", num_nodes=6, rounds=ROUNDS
+        ).to_dict()
+    return ExperimentConfig(**overrides)
+
+
+def pause_at(config: ExperimentConfig, rounds: int, factory=jwins_factory):
+    simulator = Simulator(make_toy_task(), factory(), config)
+    simulator.on_round_end(
+        lambda r, n, now: (
+            simulator.request_checkpoint_stop()
+            if simulator.result.rounds_completed >= rounds
+            else None
+        )
+    )
+    with pytest.raises(ExperimentPaused) as info:
+        simulator.run()
+    return info.value.snapshot
+
+
+def json_roundtrip(snapshot) -> SimulationSnapshot:
+    return SimulationSnapshot.from_dict(
+        json.loads(json.dumps(snapshot.to_dict(), sort_keys=True))
+    )
+
+
+@pytest.mark.parametrize("execution", ["sync", "async"])
+@pytest.mark.parametrize("scenario", [False, True])
+def test_interrupt_resume_is_byte_identical(execution, scenario):
+    config = build_config(execution, scenario)
+    uninterrupted = run_experiment(make_toy_task(), jwins_factory(), config)
+
+    snapshot = pause_at(config, 3)
+    assert snapshot.rounds_completed == 3
+    resumed = resume_experiment(
+        make_toy_task(), jwins_factory(), config, json_roundtrip(snapshot)
+    )
+    assert json.dumps(resumed.to_dict(), sort_keys=True) == json.dumps(
+        uninterrupted.to_dict(), sort_keys=True
+    )
+
+
+@pytest.mark.parametrize("execution", ["sync", "async"])
+def test_interrupt_resume_choco(execution):
+    """CHOCO's cross-round correction state survives the pause exactly."""
+
+    config = build_config(execution, scenario=False)
+    uninterrupted = run_experiment(make_toy_task(), choco_factory(), config)
+    snapshot = pause_at(config, 3, factory=choco_factory)
+    resumed = resume_experiment(
+        make_toy_task(), choco_factory(), config, json_roundtrip(snapshot)
+    )
+    assert resumed.to_dict() == uninterrupted.to_dict()
+
+
+def test_round_zero_snapshot_resumes_full_run():
+    """Edge: a snapshot taken before any round ran (sync, nothing in flight)."""
+
+    config = build_config("sync", scenario=False)
+    uninterrupted = run_experiment(make_toy_task(), jwins_factory(), config)
+
+    simulator = Simulator(make_toy_task(), jwins_factory(), config)
+    snapshot = capture_snapshot(simulator, {"kind": "sync", "clock": 0.0})
+    assert snapshot.rounds_completed == 0
+    resumed = resume_experiment(
+        make_toy_task(), jwins_factory(), config, json_roundtrip(snapshot)
+    )
+    assert resumed.to_dict() == uninterrupted.to_dict()
+
+
+@pytest.mark.parametrize("execution", ["sync", "async"])
+def test_final_round_snapshot_yields_complete_result(execution):
+    """Edge: a snapshot taken at the very last round resumes to the full result."""
+
+    config = build_config(execution, scenario=False)
+    uninterrupted = run_experiment(make_toy_task(), jwins_factory(), config)
+
+    snapshots = []
+    checkpointed = run_experiment(
+        make_toy_task(),
+        jwins_factory(),
+        config,
+        checkpoint_every=ROUNDS,
+        checkpoint_sink=snapshots.append,
+    )
+    assert checkpointed.to_dict() == uninterrupted.to_dict()
+    assert snapshots[-1].rounds_completed == ROUNDS
+    resumed = resume_experiment(
+        make_toy_task(), jwins_factory(), config, json_roundtrip(snapshots[-1])
+    )
+    assert resumed.to_dict() == uninterrupted.to_dict()
+
+
+def test_async_snapshot_captures_in_flight_messages():
+    """A mid-gossip snapshot holds queued deliveries and live contexts."""
+
+    config = build_config("async", scenario=False)
+    snapshot = pause_at(config, 2)
+    kinds = [
+        event["__event__"]["kind"] for event in snapshot.mode_state["loop"]["events"]
+    ]
+    assert kinds, "the paused gossip queue should not be empty"
+    # There is always at least one node mid-round when the global minimum
+    # advances: either a live context or an undelivered message must exist.
+    has_context = any(c is not None for c in snapshot.mode_state["contexts"])
+    has_delivery = "deliver-message" in kinds
+    assert has_context or has_delivery
+
+
+def test_sync_snapshot_has_no_in_flight_state():
+    """Edge: the sync barrier leaves nothing in flight at a boundary."""
+
+    config = build_config("sync", scenario=False)
+    snapshot = pause_at(config, 2)
+    assert snapshot.mode_state == {
+        "kind": "sync",
+        "clock": snapshot.mode_state["clock"],
+    }
+
+
+def test_cadence_checkpoints_do_not_change_results(tmp_path):
+    """checkpoint_every=k produces identical results and k-boundary snapshots."""
+
+    config = build_config("sync", scenario=False)
+    plain = run_experiment(make_toy_task(), jwins_factory(), config)
+
+    manager = CheckpointManager(tmp_path)
+    seen_rounds = []
+    checkpointed = run_experiment(
+        make_toy_task(),
+        jwins_factory(),
+        config,
+        checkpoint_every=2,
+        checkpoint_sink=lambda snap: seen_rounds.append(snap.rounds_completed)
+        or manager.save(snap, "toy"),
+    )
+    assert checkpointed.to_dict() == plain.to_dict()
+    assert seen_rounds == [2, 4, 6]
+
+    # The latest (final) snapshot resumes straight to the complete result.
+    resumed = resume_experiment(
+        make_toy_task(), jwins_factory(), config, manager.load("toy")
+    )
+    assert resumed.to_dict() == plain.to_dict()
+
+
+def test_resume_after_early_target_stop():
+    """stop_at_target interacts correctly with a pause before the stop."""
+
+    config = ExperimentConfig(
+        num_nodes=4,
+        degree=2,
+        rounds=ROUNDS,
+        local_steps=1,
+        batch_size=8,
+        learning_rate=0.1,
+        eval_every=1,
+        eval_test_samples=32,
+        seed=3,
+        partition="shards",
+        # The toy run evaluates to ~34% after round 1 and ~42% after round 2
+        # (deterministic for this seed): the target fires strictly after the
+        # pause point below, exercising the pause-then-early-stop path.
+        target_accuracy=0.40,
+        stop_at_target=True,
+    )
+    uninterrupted = run_experiment(make_toy_task(), jwins_factory(), config)
+    assert uninterrupted.reached_target_at_round == 2
+    snapshot = pause_at(config, 1)
+    resumed = resume_experiment(
+        make_toy_task(), jwins_factory(), config, json_roundtrip(snapshot)
+    )
+    assert resumed.to_dict() == uninterrupted.to_dict()

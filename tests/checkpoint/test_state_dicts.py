@@ -1,0 +1,241 @@
+"""Round-trip tests for every ``state_dict``/``load_state_dict`` pair.
+
+A fresh instance that loads the captured state must behave identically to the
+original from that point on — these are the building blocks the snapshot
+layer composes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    choco_factory,
+    full_sharing_factory,
+    quantized_sharing_factory,
+    random_sampling_factory,
+    topk_sharing_factory,
+)
+from repro.checkpoint.serialization import decode_value, encode_value
+from repro.core import adaptive_jwins_factory, jwins_factory
+from repro.core.interface import RoundContext
+from repro.exceptions import ModelError, SimulationError
+from repro.nn.layers import Linear
+from repro.nn.module import Sequential, get_flat_parameters
+from repro.nn.optim import SGD
+from repro.simulation.events import EventLoop, START_ROUND
+from repro.simulation.network import ByteMeter
+from repro.compression.sizing import PayloadSize
+from repro.utils.profiling import Profiler
+
+MODEL_SIZE = 64
+
+FACTORIES = {
+    "jwins": jwins_factory(),
+    "jwins-adaptive": adaptive_jwins_factory(),
+    "full-sharing": full_sharing_factory(),
+    "random-sampling": random_sampling_factory(),
+    "topk": topk_sharing_factory(),
+    "choco": choco_factory(),
+    "quantized": quantized_sharing_factory(),
+}
+
+
+def make_context(rng_seed: int, round_index: int) -> RoundContext:
+    rng = np.random.default_rng(rng_seed)
+    params_start = rng.normal(size=MODEL_SIZE)
+    return RoundContext(
+        round_index=round_index,
+        params_start=params_start,
+        params_trained=params_start + 0.01 * rng.normal(size=MODEL_SIZE),
+        self_weight=0.5,
+        neighbor_weights={1: 0.5},
+        rng=np.random.default_rng(1000 + round_index),
+        node_id=0,
+    )
+
+
+def drive_rounds(scheme, rounds: int, start: int = 0) -> list[np.ndarray]:
+    """Run full prepare/aggregate/finalize rounds; return the new params."""
+
+    outputs = []
+    for round_index in range(start, start + rounds):
+        context = make_context(round_index, round_index)
+        scheme.prepare(context)
+        new_params = scheme.aggregate(context, [])
+        scheme.finalize(context, new_params)
+        outputs.append(new_params)
+    return outputs
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_scheme_state_roundtrip_preserves_behavior(name):
+    factory = FACTORIES[name]
+    original = factory(0, MODEL_SIZE, 7)
+    drive_rounds(original, 3)
+
+    state = decode_value(json.loads(json.dumps(encode_value(original.state_dict()))))
+    clone = factory(0, MODEL_SIZE, 7)
+    clone.load_state_dict(state)
+
+    continued = drive_rounds(original, 2, start=3)
+    resumed = drive_rounds(clone, 2, start=3)
+    for a, b in zip(continued, resumed):
+        assert np.array_equal(a, b)
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_scheme_state_roundtrip_at_round_zero(name):
+    factory = FACTORIES[name]
+    original = factory(0, MODEL_SIZE, 7)
+    clone = factory(0, MODEL_SIZE, 7)
+    clone.load_state_dict(
+        decode_value(json.loads(json.dumps(encode_value(original.state_dict()))))
+    )
+    a = drive_rounds(original, 2)
+    b = drive_rounds(clone, 2)
+    for x, y in zip(a, b):
+        assert np.array_equal(x, y)
+
+
+def test_scheme_state_roundtrip_mid_round():
+    """State captured between prepare and aggregate (async in-flight case)."""
+
+    scheme = jwins_factory()(0, MODEL_SIZE, 7)
+    neighbor = jwins_factory()(1, MODEL_SIZE, 8)
+    context = make_context(0, 0)
+    scheme.prepare(context)
+    inbox = [neighbor.prepare(make_context(1, 0))]
+    state = decode_value(json.loads(json.dumps(encode_value(scheme.state_dict()))))
+    assert state["own_coefficients"] is not None
+
+    clone = jwins_factory()(0, MODEL_SIZE, 7)
+    clone.load_state_dict(state)
+    expected = scheme.aggregate(context, inbox)
+    actual = clone.aggregate(context, inbox)
+    assert np.array_equal(expected, actual)
+
+
+def test_stateless_scheme_rejects_foreign_state():
+    scheme = full_sharing_factory()(0, MODEL_SIZE, 7)
+    with pytest.raises(SimulationError):
+        scheme.load_state_dict({"x": 1})
+
+
+def test_choco_rejects_wrong_model_size():
+    scheme = choco_factory()(0, MODEL_SIZE, 7)
+    other = choco_factory()(0, MODEL_SIZE * 2, 7)
+    with pytest.raises(SimulationError):
+        scheme.load_state_dict(other.state_dict())
+
+
+# -- optimizer ------------------------------------------------------------------------
+def make_model(seed: int) -> Sequential:
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(4, 8, rng), Linear(8, 2, rng))
+
+
+def test_sgd_state_roundtrip_continues_identically():
+    model_a, model_b = make_model(3), make_model(3)
+    opt_a = SGD(model_a.parameters(), lr=0.1, momentum=0.9)
+    opt_b = SGD(model_b.parameters(), lr=0.1, momentum=0.9)
+
+    rng = np.random.default_rng(11)
+    def step(model, opt):
+        inputs = rng_inputs
+        model.zero_grad()
+        out = model.forward(inputs)
+        model.backward(np.ones_like(out))
+        opt.step()
+
+    for _ in range(3):
+        rng_inputs = rng.normal(size=(5, 4))
+        step(model_a, opt_a)
+    state = decode_value(json.loads(json.dumps(encode_value(opt_a.state_dict()))))
+    # Sync model_b to model_a, then overlay the optimizer state.
+    from repro.nn.module import set_flat_parameters
+
+    set_flat_parameters(model_b, get_flat_parameters(model_a))
+    opt_b.load_state_dict(state)
+    rng_inputs = rng.normal(size=(5, 4))
+    step(model_a, opt_a)
+    step(model_b, opt_b)
+    assert np.array_equal(get_flat_parameters(model_a), get_flat_parameters(model_b))
+
+
+def test_sgd_rejects_mismatched_buffers():
+    opt = SGD(make_model(3).parameters(), lr=0.1)
+    with pytest.raises(ModelError):
+        opt.load_state_dict({"velocity": [np.zeros(3)]})
+
+
+# -- byte meter -----------------------------------------------------------------------
+def test_byte_meter_state_roundtrip():
+    meter = ByteMeter(3)
+    meter.record_send(0, PayloadSize(100, 10), copies=2)
+    meter.end_round()
+    meter.record_send(1, PayloadSize(50, 5))
+    state = decode_value(json.loads(json.dumps(encode_value(meter.state_dict()))))
+
+    clone = ByteMeter(3)
+    clone.load_state_dict(state)
+    assert clone.total_bytes == meter.total_bytes
+    assert clone.per_round_bytes == meter.per_round_bytes
+    assert np.array_equal(clone.total_bytes_per_node, meter.total_bytes_per_node)
+    assert clone.end_round() == meter.end_round()
+
+
+def test_byte_meter_rejects_wrong_node_count():
+    meter = ByteMeter(3)
+    with pytest.raises(SimulationError):
+        ByteMeter(4).load_state_dict(meter.state_dict())
+
+
+# -- profiler -------------------------------------------------------------------------
+def test_profiler_state_roundtrip():
+    ticks = iter(range(100))
+    profiler = Profiler(clock=lambda: float(next(ticks)))
+    with profiler.phase("train"):
+        pass
+    profiler.mark_round(0)
+    with profiler.phase("encode"):
+        pass
+    state = json.loads(json.dumps(profiler.state_dict()))
+    clone = Profiler()
+    clone.load_state_dict(state)
+    assert clone.totals == profiler.totals
+    assert clone.counts == profiler.counts
+    assert clone.round_rows == profiler.round_rows
+    clone.mark_round(1)  # the open since-mark row travelled too
+    assert clone.round_rows[-1]["round"] == 1.0
+
+
+# -- event loop -----------------------------------------------------------------------
+def test_event_loop_restore_preserves_order_and_counter():
+    loop = EventLoop()
+    loop.schedule(2.0, START_ROUND, 1)
+    loop.schedule(1.0, START_ROUND, 0)
+    loop.schedule(1.0, START_ROUND, 2)
+    loop.pop()  # advance the clock
+
+    events = loop.pending()
+    clone = EventLoop()
+    clone.restore(events, next_seq=loop.next_seq, now=loop.now)
+    assert clone.now == loop.now
+    order = [clone.pop() for _ in range(len(clone))]
+    expected = [loop.pop() for _ in range(len(loop))]
+    assert [e.sort_key for e in order] == [e.sort_key for e in expected]
+    # New schedules continue the counter without colliding.
+    event = clone.schedule(5.0, START_ROUND, 0)
+    assert event.seq >= max(e.seq for e in order) + 1
+
+
+def test_event_loop_restore_rejects_seq_collision():
+    loop = EventLoop()
+    event = loop.schedule(1.0, START_ROUND, 0)
+    clone = EventLoop()
+    with pytest.raises(SimulationError):
+        clone.restore([event], next_seq=0, now=0.0)
