@@ -10,6 +10,7 @@ what the assertions check.
 
 from __future__ import annotations
 
+import json
 from dataclasses import replace
 from pathlib import Path
 
@@ -27,6 +28,31 @@ def save_report(name: str, text: str) -> None:
     path = OUTPUT_DIR / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
     print(f"\n[{name}]\n{text}\n(written to {path})")
+
+
+def merge_json_metrics(area: str, phase: str, metrics: dict) -> Path:
+    """Merge one phase's metrics into ``benchmarks/output/BENCH_<area>.json``.
+
+    The document accumulates across the tests of one run — each test owns one
+    ``phases`` key — giving downstream tooling a single machine-readable file
+    per benchmark area (the perf-trajectory format ROADMAP.md asks for).
+    """
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"BENCH_{area}.json"
+    document: dict = {"version": 1, "area": area, "phases": {}}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            existing = None
+        if isinstance(existing, dict) and existing.get("version") == 1:
+            document = existing
+    document.setdefault("phases", {})[phase] = metrics
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
 
 
 def scale_down(

@@ -18,7 +18,7 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import merge_json_metrics, save_report
 from repro.compression.elias import (
     elias_gamma_decode_array,
     elias_gamma_decode_reference,
@@ -78,6 +78,18 @@ def test_elias_encode_throughput(benchmark):
         f"reference:  {reference_seconds * 1e3:8.2f} ms\n"
         f"speedup:    {speedup:8.1f}x (acceptance floor: 5x)",
     )
+    merge_json_metrics(
+        "codec",
+        "elias_encode",
+        {
+            "size": NUM_COEFFICIENTS,
+            "smoke": SMOKE,
+            "fast_seconds": fast_seconds,
+            "reference_seconds": reference_seconds,
+            "speedup": speedup,
+            "throughput_mvalues_per_s": throughput,
+        },
+    )
     assert speedup >= 5.0, f"vectorized encode only {speedup:.1f}x faster"
 
 
@@ -99,6 +111,18 @@ def test_elias_decode_throughput(benchmark):
         f"reference:  {reference_seconds * 1e3:8.2f} ms\n"
         f"speedup:    {speedup:8.1f}x",
     )
+    merge_json_metrics(
+        "codec",
+        "elias_decode",
+        {
+            "size": int(count),
+            "smoke": SMOKE,
+            "fast_seconds": fast_seconds,
+            "reference_seconds": reference_seconds,
+            "speedup": speedup,
+            "throughput_mvalues_per_s": count / fast_seconds / 1e6,
+        },
+    )
     assert speedup >= 2.0, f"vectorized decode only {speedup:.1f}x faster"
 
 
@@ -117,6 +141,18 @@ def test_quantized_pack_throughput(benchmark):
         f"vectorized: {fast_seconds * 1e3:8.2f} ms\n"
         f"reference:  {reference_seconds * 1e3:8.2f} ms\n"
         f"speedup:    {speedup:8.1f}x",
+    )
+    merge_json_metrics(
+        "codec",
+        "qsgd_pack",
+        {
+            "size": NUM_COEFFICIENTS,
+            "smoke": SMOKE,
+            "fast_seconds": fast_seconds,
+            "reference_seconds": reference_seconds,
+            "speedup": speedup,
+            "throughput_mvalues_per_s": NUM_COEFFICIENTS / fast_seconds / 1e6,
+        },
     )
     assert speedup >= 5.0, f"vectorized pack only {speedup:.1f}x faster"
 
@@ -148,6 +184,18 @@ def test_dwt_roundtrip_throughput(benchmark):
         f"vectorized: {fast_seconds * 1e3:8.2f} ms\n"
         f"reference:  {reference_seconds * 1e3:8.2f} ms\n"
         f"speedup:    {speedup:8.1f}x",
+    )
+    merge_json_metrics(
+        "codec",
+        "dwt_roundtrip",
+        {
+            "size": UNIVERSE,
+            "smoke": SMOKE,
+            "fast_seconds": fast_seconds,
+            "reference_seconds": reference_seconds,
+            "speedup": speedup,
+            "throughput_mvalues_per_s": UNIVERSE / fast_seconds / 1e6,
+        },
     )
     # The reference was already numpy-vectorized per tap; the win here is the
     # modulo removal and the add.at -> gather rewrite, worth ~2-3x.

@@ -6,7 +6,9 @@
 #
 # Stages:
 #   lint         byte-compile every python tree (fast syntax gate)
-#   docs         documentation link check
+#   analysis     repro.analysis static-analysis gate (determinism &
+#                serialization rules over src/ and the markdown docs)
+#   docs         documentation link check (the DOC001 analysis rule alone)
 #   test         the tier-1 pytest suite (tests + benchmark harness)
 #   bench        codec throughput benchmark in smoke mode
 #   smoke        async gossip example + orchestration sweep resume smoke
@@ -29,8 +31,12 @@ stage_lint() {
   python -m compileall -q src benchmarks examples scripts tests
 }
 
+stage_analysis() {
+  python -m repro.analysis --baseline .analysis-baseline.json src README.md docs
+}
+
 stage_docs() {
-  python scripts/check_docs_links.py
+  python -m repro.analysis --rule DOC001 README.md docs
 }
 
 stage_test() {
@@ -158,7 +164,7 @@ stage_checkpoint() {
       | grep -q "4 line(s) -> 2 row(s)"
 }
 
-ALL_STAGES=(lint docs test bench smoke determinism checkpoint)
+ALL_STAGES=(lint analysis docs test bench smoke determinism checkpoint)
 
 run_stage() {
   local name="$1"

@@ -1,0 +1,123 @@
+"""CLI for the static-analysis suite.
+
+Usage::
+
+    python -m repro.analysis [paths...]
+    python -m repro.analysis --format json src
+    python -m repro.analysis --rule DET001 --rule DET002 src/repro/simulation
+    python -m repro.analysis --baseline .analysis-baseline.json src README.md docs
+    python -m repro.analysis --write-baseline .analysis-baseline.json src
+    python -m repro.analysis --list-rules
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.core import all_rules, get_rule
+from repro.analysis.engine import analyze_paths
+from repro.analysis.reporters import render
+from repro.exceptions import ConfigurationError
+
+#: Scanned when no paths are given (whichever of these exist).
+DEFAULT_PATHS = ("src", "README.md", "docs")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.analysis`` argument parser."""
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis for determinism and serialization contracts.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: src README.md docs)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="JSON baseline of grandfathered findings to ignore",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write all current findings as a new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        suffixes = ",".join(rule.file_suffixes)
+        lines.append(
+            f"{rule.id}  [{rule.severity.value:7s}]  ({suffixes})  {rule.summary}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    try:
+        if options.list_rules:
+            print(_list_rules())
+            return 0
+        rules = None
+        if options.rule:
+            rules = [get_rule(rule_id) for rule_id in options.rule]
+        paths = options.paths or [p for p in DEFAULT_PATHS if Path(p).exists()]
+        if not paths:
+            raise ConfigurationError(
+                "no analysis targets: pass paths explicitly or run from the repo root"
+            )
+        baseline = Baseline.load(options.baseline) if options.baseline else None
+        report = analyze_paths(paths, rules=rules, baseline=baseline)
+        if options.write_baseline:
+            written = Baseline.from_findings(report.raw_findings).save(
+                options.write_baseline
+            )
+            print(
+                f"wrote baseline with {len(report.raw_findings)} entr(y/ies) "
+                f"to {written}"
+            )
+            return 0
+        print(render(report, options.format))
+        return 0 if report.ok else 1
+    except ConfigurationError as error:
+        print(f"analysis: error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

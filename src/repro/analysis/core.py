@@ -1,0 +1,165 @@
+"""Rule protocol, findings and the rule registry.
+
+A rule is a small, stateless object: it declares which AST node types it wants
+to visit (:attr:`Rule.node_types`) and/or implements a whole-file check
+(:meth:`Rule.check_file`), and yields :class:`Finding` objects.  Registration
+is by decorator::
+
+    @register_rule
+    class NoFrobnication(Rule):
+        id = "DET999"
+        severity = Severity.ERROR
+        summary = "no frobnication in engine code"
+        node_types = (ast.Call,)
+
+        def visit(self, node, ctx):
+            ...
+
+The engine (:mod:`repro.analysis.engine`) instantiates every registered rule
+once, walks each file's AST a single time and dispatches each node to the
+rules interested in its type.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Iterable
+
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.analysis.context import FileContext
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+]
+
+
+class Severity(str, Enum):
+    """How bad a finding is; any unsuppressed finding fails the gate."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    column: int
+    message: str
+    #: The stripped source line, used for location-tolerant baseline matching.
+    code: str = ""
+
+    def sort_key(self) -> tuple:
+        """Stable report order: by location, then rule id."""
+
+        return (self.path, self.line, self.column, self.rule)
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-number-free identity used by the baseline (survives drift)."""
+
+        return (self.rule, self.path, self.code)
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (the JSON reporter's row schema)."""
+
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": int(self.line),
+            "column": int(self.column),
+            "message": self.message,
+            "code": self.code,
+        }
+
+
+class Rule:
+    """Base class for analysis rules; subclass and :func:`register_rule`."""
+
+    #: Unique identifier, e.g. ``"DET001"`` — what suppressions and the
+    #: ``--rule`` flag refer to.
+    id = "RULE000"
+    severity = Severity.ERROR
+    #: One-line description shown by ``--list-rules``.
+    summary = ""
+    #: AST node types routed to :meth:`visit` (python files only).
+    node_types: tuple[type, ...] = ()
+    #: File suffixes this rule applies to.
+    file_suffixes: tuple[str, ...] = (".py",)
+
+    def applies_to(self, ctx: "FileContext") -> bool:
+        """Whether the rule runs on this file at all (module scoping)."""
+
+        return True
+
+    def visit(self, node: ast.AST, ctx: "FileContext") -> Iterable[Finding]:
+        """Inspect one AST node; yield findings."""
+
+        return ()
+
+    def check_file(self, ctx: "FileContext") -> Iterable[Finding]:
+        """Whole-file check, called once per applicable file."""
+
+        return ()
+
+    def finding(
+        self, ctx: "FileContext", line: int, column: int, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` for this rule at ``line``/``column``."""
+
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=ctx.display_path,
+            line=line,
+            column=column,
+            message=message,
+            code=ctx.line_text(line).strip(),
+        )
+
+
+#: Rule id -> instance, in registration order.
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding one instance of ``rule_class`` to the registry."""
+
+    instance = rule_class()
+    if not instance.id or instance.id in _REGISTRY:
+        raise ConfigurationError(f"duplicate or empty rule id {instance.id!r}")
+    _REGISTRY[instance.id] = instance
+    return rule_class
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by id (imports the shipped rule set)."""
+
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by id; raises ``ConfigurationError`` on unknown ids."""
+
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(f"unknown rule {rule_id!r}; known rules: {known}") from None

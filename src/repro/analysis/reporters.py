@@ -1,0 +1,74 @@
+"""Rendering an :class:`~repro.analysis.engine.AnalysisReport`.
+
+Two formats: ``text`` (one ``path:line:col: RULE severity: message`` line per
+finding plus a summary — what the CI gate prints) and ``json`` (a stable
+machine-readable document for tooling; its schema is pinned by a test).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.analysis.core import Severity
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.analysis.engine import AnalysisReport
+
+__all__ = ["JSON_REPORT_VERSION", "render_json", "render_text", "render"]
+
+JSON_REPORT_VERSION = 1
+
+
+def render_text(report: "AnalysisReport") -> str:
+    """Human-readable report: one line per finding, then a summary line."""
+
+    lines = [
+        f"{finding.path}:{finding.line}:{finding.column}: "
+        f"{finding.rule} {finding.severity.value}: {finding.message}"
+        for finding in report.findings
+    ]
+    errors = sum(1 for f in report.findings if f.severity is Severity.ERROR)
+    warnings = len(report.findings) - errors
+    if report.findings:
+        summary = (
+            f"analysis FAILED: {len(report.findings)} finding(s) "
+            f"({errors} error(s), {warnings} warning(s))"
+        )
+    else:
+        summary = "analysis OK: 0 findings"
+    summary += (
+        f" in {report.files_scanned} file(s); "
+        f"{report.suppressed} suppressed, {report.baselined} baselined"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: "AnalysisReport") -> str:
+    """Machine-readable report (sorted keys; schema pinned by tests)."""
+
+    errors = sum(1 for f in report.findings if f.severity is Severity.ERROR)
+    document = {
+        "version": JSON_REPORT_VERSION,
+        "files_scanned": report.files_scanned,
+        "findings": [finding.to_dict() for finding in report.findings],
+        "summary": {
+            "errors": errors,
+            "warnings": len(report.findings) - errors,
+            "suppressed": report.suppressed,
+            "baselined": report.baselined,
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render(report: "AnalysisReport", format: str) -> str:
+    """Render ``report`` in ``format`` (``"text"`` or ``"json"``)."""
+
+    if format == "text":
+        return render_text(report)
+    if format == "json":
+        return render_json(report)
+    raise ConfigurationError(f"unknown report format {format!r}")

@@ -1,0 +1,5 @@
+"""Rule modules; importing this package registers every built-in rule."""
+
+from repro.analysis.rules import api, determinism, docs, pool, serialization
+
+__all__ = ["api", "determinism", "docs", "pool", "serialization"]

@@ -1,0 +1,65 @@
+"""Inline suppression comments: ``# repro: allow[RULE-ID] reason``.
+
+A suppression silences the named rule(s) on the line carrying the comment.
+A comment on a line of its own additionally covers the next source line, so
+statements too long to share a line with their justification stay readable::
+
+    indices = np.random.default_rng().choice(...)  # repro: allow[DET001] seeded below
+
+    # repro: allow[SER001] cache, rebuilt on load
+    self._cache = {}
+
+Multiple ids are comma-separated: ``# repro: allow[DET001,DET002] ...``.
+Comments are extracted with :mod:`tokenize`, so the marker inside a string
+literal is never mistaken for a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["SUPPRESSION_PATTERN", "extract_suppressions"]
+
+#: ``# repro: allow[ID]`` / ``# repro: allow[ID1, ID2] free-form reason``.
+SUPPRESSION_PATTERN = re.compile(
+    r"#\s*repro:\s*allow\[\s*([A-Za-z]+\d+(?:\s*,\s*[A-Za-z]+\d+)*)\s*\]"
+)
+
+
+def extract_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> rule ids suppressed on that line.
+
+    Tokenization errors fall back to a line-based scan (the file already
+    failed or will fail parsing anyway; suppressions should not mask that).
+    """
+
+    per_line: dict[int, set[str]] = {}
+
+    def record(line: int, rule_ids: set[str], own_line: bool) -> None:
+        per_line.setdefault(line, set()).update(rule_ids)
+        if own_line:
+            per_line.setdefault(line + 1, set()).update(rule_ids)
+
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for number, text in enumerate(source.splitlines(), start=1):
+            match = SUPPRESSION_PATTERN.search(text)
+            if match:
+                ids = {part.strip() for part in match.group(1).split(",")}
+                record(number, ids, own_line=text.lstrip().startswith("#"))
+        return {line: frozenset(ids) for line, ids in per_line.items()}
+
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = SUPPRESSION_PATTERN.search(token.string)
+        if not match:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",")}
+        line = token.start[0]
+        prefix = token.line[: token.start[1]]
+        record(line, ids, own_line=not prefix.strip())
+    return {line: frozenset(ids) for line, ids in per_line.items()}

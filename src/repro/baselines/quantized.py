@@ -97,12 +97,12 @@ class QuantizedSharingScheme(SharingScheme):
     def state_dict(self) -> dict:
         """The stochastic-rounding RNG state (the scheme's only mutable state)."""
 
-        return {"quantizer_rng": self._quantizer.rng_state}
+        return {"quantizer": self._quantizer.state_dict()}
 
     def load_state_dict(self, state) -> None:
         """Restore state captured by :meth:`state_dict`."""
 
-        self._quantizer.rng_state = state["quantizer_rng"]
+        self._quantizer.load_state_dict(state["quantizer"])
 
 
 def quantized_sharing_factory(bits: int = 4, bucket_size: int = 256):

@@ -43,6 +43,8 @@ class CheckpointManager:
 
     @property
     def lineage_path(self) -> Path:
+        """Where the append-only checkpoint lineage log lives."""
+
         return self.directory / _LINEAGE_FILE
 
     def keys(self) -> Iterator[str]:

@@ -74,6 +74,16 @@ class QsgdQuantizer:
     def rng_state(self, state: dict) -> None:
         self._rng.bit_generator.state = dict(state)
 
+    def state_dict(self) -> dict:
+        """Snapshot the quantizer's mutable state (the rounding RNG stream)."""
+
+        return {"rng_state": self.rng_state}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+
+        self.rng_state = state["rng_state"]
+
     def quantize(self, values: np.ndarray) -> QuantizedVector:
         """Quantize ``values``; the expectation of dequantize(quantize(x)) is x."""
 

@@ -38,7 +38,7 @@ def make_cifar10_task(
     prototype_state = proto_rng.bit_generator.state
 
     def _generate(rng: np.random.Generator, count: int) -> tuple[np.ndarray, np.ndarray]:
-        generator = np.random.default_rng()
+        generator = np.random.default_rng(0)
         generator.bit_generator.state = prototype_state
         images, labels = make_class_images(
             generator, count, NUM_CLASSES, image_size=image_size, channels=3, noise=0.0

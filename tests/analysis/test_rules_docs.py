@@ -1,0 +1,68 @@
+"""Must-flag / must-not-flag fixtures for DOC001 (markdown link checking)."""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_paths, get_rule
+from repro.analysis.rules.docs import heading_slugs
+
+
+def run(tmp_path):
+    report = analyze_paths([tmp_path], rules=[get_rule("DOC001")])
+    return report.findings
+
+
+class TestHeadingSlugs:
+    def test_github_style_slugging(self):
+        markdown = "# Hello World\n## `code` *and* _markup_\n### Sweep, Resume\n"
+        slugs = heading_slugs(markdown)
+        assert "hello-world" in slugs
+        assert "code-and-markup" in slugs
+        assert "sweep-resume" in slugs
+
+
+class TestDoc001Links:
+    def test_flags_broken_file_link(self, tmp_path):
+        (tmp_path / "a.md").write_text("See [missing](nope.md).\n")
+        findings = run(tmp_path)
+        assert [f.rule for f in findings] == ["DOC001"]
+        assert "nope.md" in findings[0].message
+        assert findings[0].line == 1
+
+    def test_flags_missing_anchor_in_other_document(self, tmp_path):
+        (tmp_path / "a.md").write_text("See [b](b.md#missing-section).\n")
+        (tmp_path / "b.md").write_text("# Present Section\n")
+        findings = run(tmp_path)
+        assert [f.rule for f in findings] == ["DOC001"]
+        assert "missing anchor" in findings[0].message
+
+    def test_flags_missing_self_anchor(self, tmp_path):
+        (tmp_path / "a.md").write_text("# Title\nJump to [x](#nowhere).\n")
+        findings = run(tmp_path)
+        assert [f.rule for f in findings] == ["DOC001"]
+
+    def test_allows_resolving_links_and_anchors(self, tmp_path):
+        (tmp_path / "a.md").write_text(
+            "# Alpha\nSee [b](b.md#beta), [self](#alpha) and ![img](pic.png).\n"
+        )
+        (tmp_path / "b.md").write_text("# Beta\n")
+        (tmp_path / "pic.png").write_bytes(b"\x89PNG")
+        assert run(tmp_path) == []
+
+    def test_allows_external_urls(self, tmp_path):
+        (tmp_path / "a.md").write_text(
+            "[site](https://example.com) [mail](mailto:x@y.z)\n"
+        )
+        assert run(tmp_path) == []
+
+    def test_ignores_links_inside_code_fences(self, tmp_path):
+        (tmp_path / "a.md").write_text(
+            "```\n[not a link](nope.md)\n```\nreal text\n"
+        )
+        assert run(tmp_path) == []
+
+    def test_relative_links_resolve_from_document_directory(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "guide.md").write_text("Back to the [readme](../README.md).\n")
+        (tmp_path / "README.md").write_text("# Top\n")
+        assert run(tmp_path) == []
