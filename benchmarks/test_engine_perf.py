@@ -1,0 +1,99 @@
+"""Engine performance backbone: per-phase seconds, peak RSS, rounds/sec.
+
+Unlike the figure/table benchmarks (which pin the paper's *shape*), this
+suite pins the simulator's *speed*: it runs the JWINS scheme through both
+execution modes at a fixed scaled-down deployment, attaches a
+:class:`~repro.utils.profiling.Profiler`, and writes the per-phase wall-clock
+seconds, peak RSS and throughput into ``benchmarks/output/BENCH_engine.json``
+— the perf-trajectory document ``scripts/check_perf.py`` diffs against the
+committed ``benchmarks/BENCH_engine.snapshot.json`` to fail CI on a >20%
+phase regression.
+
+Set ``ENGINE_BENCH_SMOKE=1`` to shrink the deployment ~4x (the CI perf
+stage's budget); smoke runs record under distinct phase keys
+(``sync_smoke``/``async_smoke``) so they are only ever compared against
+smoke baselines.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import replace
+
+import pytest
+
+from benchmarks.conftest import merge_json_metrics, save_report, scale_down
+from repro.core import JwinsConfig, jwins_factory
+from repro.evaluation import get_workload
+from repro.simulation import run_experiment
+from repro.utils.profiling import Profiler
+
+SMOKE = bool(os.environ.get("ENGINE_BENCH_SMOKE"))
+NUM_NODES = 4 if SMOKE else 8
+ROUNDS = 4 if SMOKE else 16
+#: Phases every engine run must attribute time to.
+ENGINE_PHASES = {"train", "encode", "aggregate", "evaluate"}
+
+
+def _bench(execution: str) -> tuple[dict, Profiler]:
+    workload = get_workload("cifar10")
+    task = workload.make_task(seed=7)
+    config = scale_down(
+        workload.config,
+        num_nodes=NUM_NODES,
+        degree=min(4, NUM_NODES - 1),
+        rounds=ROUNDS,
+        eval_every=ROUNDS // 2,
+        eval_test_samples=64 if SMOKE else 128,
+    )
+    config = replace(config, execution=execution)
+    profiler = Profiler()
+    started = time.perf_counter()
+    result = run_experiment(
+        task,
+        jwins_factory(JwinsConfig.paper_default()),
+        config,
+        scheme_name="jwins",
+        profiler=profiler,
+    )
+    total_seconds = time.perf_counter() - started
+    metrics = {
+        "smoke": SMOKE,
+        "execution": execution,
+        "num_nodes": config.num_nodes,
+        "rounds": config.rounds,
+        "rounds_completed": result.rounds_completed,
+        "total_seconds": total_seconds,
+        "rounds_per_second": result.rounds_completed / total_seconds,
+        "phase_seconds": dict(result.phase_seconds),
+        "peak_rss_bytes": int(result.memory.get("peak_rss_bytes", 0)),
+    }
+    return metrics, profiler
+
+
+@pytest.mark.parametrize("execution", ["sync", "async"])
+def test_engine_perf(execution):
+    metrics, profiler = _bench(execution)
+
+    phase_key = f"{execution}_smoke" if SMOKE else execution
+    lines = [
+        f"engine perf, {execution} mode, jwins, {NUM_NODES} nodes x {ROUNDS} rounds"
+        f"{' (smoke)' if SMOKE else ''}",
+        f"total:       {metrics['total_seconds'] * 1e3:8.1f} ms"
+        f"  ({metrics['rounds_per_second']:.1f} rounds/s)",
+    ]
+    for phase, seconds in sorted(
+        metrics["phase_seconds"].items(), key=lambda item: -item[1]
+    ):
+        lines.append(f"{phase + ':':12s} {seconds * 1e3:8.1f} ms")
+    lines.append(f"peak RSS:    {metrics['peak_rss_bytes'] / 2**20:8.1f} MiB")
+    save_report(f"engine_perf_{phase_key}", "\n".join(lines))
+    merge_json_metrics("engine", phase_key, metrics)
+
+    assert metrics["rounds_completed"] == ROUNDS
+    assert ENGINE_PHASES <= set(metrics["phase_seconds"])
+    # Every phase total is the sum of positive per-call durations.
+    assert all(profiler.counts[phase] > 0 for phase in ENGINE_PHASES)
+    assert metrics["rounds_per_second"] > 0
+    assert metrics["peak_rss_bytes"] > 0

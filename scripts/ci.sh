@@ -11,6 +11,8 @@
 #   docs         documentation link check (the DOC001 analysis rule alone)
 #   test         the tier-1 pytest suite (tests + benchmark harness)
 #   bench        codec throughput benchmark in smoke mode
+#   perf         engine benchmark in smoke mode + regression gate against the
+#                committed benchmarks/BENCH_engine.snapshot.json (>20% fails)
 #   smoke        async gossip example + orchestration sweep resume smoke
 #   determinism  churn+partition sweep twice serially and once on 2 workers;
 #                the JSONL stores must be byte-for-byte identical
@@ -48,6 +50,16 @@ stage_bench() {
   # pass exercises the CODEC_THROUGHPUT_SMOKE env path (what slow CI runners
   # use) so a broken smoke mode cannot land silently.
   CODEC_THROUGHPUT_SMOKE=1 python -m pytest benchmarks/test_codec_throughput.py -q
+}
+
+stage_perf() {
+  # Engine perf backbone: re-benchmark the engine under the smoke budget and
+  # diff every phase shared with the committed snapshot; a >20% slowdown on
+  # any timed phase fails the stage (scripts/check_perf.py prints the diff).
+  # After an intentional perf change, refresh the snapshot with
+  # `python scripts/check_perf.py --update` and commit it.
+  ENGINE_BENCH_SMOKE=1 python -m pytest benchmarks/test_engine_perf.py -q
+  python scripts/check_perf.py
 }
 
 stage_smoke() {
@@ -164,7 +176,7 @@ stage_checkpoint() {
       | grep -q "4 line(s) -> 2 row(s)"
 }
 
-ALL_STAGES=(lint analysis docs test bench smoke determinism checkpoint)
+ALL_STAGES=(lint analysis docs test bench perf smoke determinism checkpoint)
 
 run_stage() {
   local name="$1"

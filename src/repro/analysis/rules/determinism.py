@@ -112,21 +112,26 @@ class NoWallClock(Rule):
     """DET002: wall-clock reads leak real time into simulated time.
 
     The simulation has its own virtual clock (``repro.simulation.timing``);
-    profiling is the only sanctioned wall-clock consumer and must go through
-    ``repro.utils.profiling``.  References are flagged, not just calls —
+    the sanctioned wall-clock consumers are the telemetry modules —
+    ``repro.utils.profiling`` (phase timers) and ``repro.observability``
+    (trace timestamps, memory tracking), both of which sit explicitly outside
+    the determinism contract.  References are flagged, not just calls —
     ``clock=time.perf_counter`` smuggles the clock just as effectively.
     """
 
     id = "DET002"
     severity = Severity.ERROR
     summary = (
-        "no wall-clock reads outside repro.utils.profiling; simulated time "
+        "no wall-clock reads outside the telemetry modules "
+        "(repro.utils.profiling, repro.observability); simulated time "
         "comes from the virtual clock"
     )
     node_types = (ast.Attribute, ast.Name)
 
     def applies_to(self, ctx: FileContext) -> bool:
-        return ctx.module_in("repro") and not ctx.module_in("repro.utils.profiling")
+        return ctx.module_in("repro") and not ctx.module_in(
+            "repro.utils.profiling", "repro.observability"
+        )
 
     def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
         # Only flag the outermost attribute chain: for `time.perf_counter`

@@ -61,6 +61,7 @@ from repro.orchestration import (
     run_fork,
     run_sweep,
 )
+from repro.observability import MetricsRegistry, TraceEmitter, summarize_trace
 from repro.simulation import run_experiment
 from repro.utils.profiling import Profiler, format_profile
 from repro.version import __version__
@@ -69,7 +70,7 @@ __all__ = ["build_cli_parser", "build_parser", "main", "scheme_factory_from_name
 
 SCHEME_CHOICES = available_schemes()
 
-SUBCOMMANDS = ("run", "sweep", "regenerate", "fork", "store")
+SUBCOMMANDS = ("run", "sweep", "regenerate", "fork", "store", "trace")
 
 #: Exit code of a run/sweep that checkpointed itself after an interrupt
 #: (mirrors the conventional 128 + SIGINT).
@@ -173,6 +174,20 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="time the engine phases (train/encode/aggregate/evaluate) and "
         "print a per-phase breakdown after each scheme",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect engine/network/checkpoint counters and print the "
+        "registry after the run (telemetry only; results are unaffected)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a structured JSONL event trace (manifest, rounds, "
+        "messages, evaluations, checkpoints) to PATH; schemes of one "
+        "invocation share the file, back to back",
     )
     parser.add_argument(
         "--checkpoint-every",
@@ -336,6 +351,25 @@ def build_cli_parser() -> argparse.ArgumentParser:
         help="per-cell snapshot cadence in completed rounds when "
         "--checkpoint-dir is set (default 1)",
     )
+    sweep_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile every executed cell and print an aggregated per-phase "
+        "table (stored rows stay byte-identical; profiling is telemetry only)",
+    )
+    sweep_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="merge every executed cell's counters into one registry "
+        "(deterministic merge, identical for any --workers) and print it",
+    )
+    sweep_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="write one <spec hash>.trace.jsonl per executed cell into DIR "
+        "(per-cell files keep traces stable across worker counts)",
+    )
     sweep_parser.set_defaults(handler=_sweep_command)
 
     fork_parser = subparsers.add_parser(
@@ -381,7 +415,34 @@ def build_cli_parser() -> argparse.ArgumentParser:
         "--checkpoint-every", type=int, default=0, metavar="K",
         help="snapshot cadence of the forked run (requires --checkpoint-dir)",
     )
+    fork_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="time the forked run's engine phases and print the breakdown",
+    )
+    fork_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect the forked run's counters and print the registry",
+    )
+    fork_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write the forked run's JSONL event trace to PATH",
+    )
     fork_parser.set_defaults(handler=_fork_command)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect a JSONL run trace written by --trace"
+    )
+    trace_parser.add_argument(
+        "action",
+        choices=("summarize",),
+        help="summarize: per-run, per-phase and per-node rollups of a trace file",
+    )
+    trace_parser.add_argument("path", help="trace file to read")
+    trace_parser.set_defaults(handler=_trace_command)
 
     store_parser = subparsers.add_parser(
         "store", help="maintain a JSONL result store"
@@ -600,72 +661,92 @@ def _run_command(args: argparse.Namespace) -> int:
         f"{scenario_note}"
     )
     results = {}
-    for scheme_name in args.scheme:
-        print(f"running {scheme_name} ...")
-        profiler = Profiler() if args.profile else None
-        if checkpointing:
-            spec = _spec_for_run(args, scheme_name, overrides)
-            snapshot = None
-            if args.resume_from is not None:
-                snapshot = _load_snapshot(args.resume_from)
-                if snapshot.spec_hash() != spec.content_hash():
-                    embedded = snapshot.spec_hash()
-                    raise SystemExit(
-                        f"snapshot {args.resume_from!r} does not match this "
-                        f"invocation: it embeds spec hash "
-                        f"{'(none)' if embedded is None else embedded[:12] + '...'}, "
-                        f"the command line implies {spec.content_hash()[:12]}...; "
-                        "re-run with the original flags, or replay it under a "
-                        "changed config with `fork`"
+    metrics = MetricsRegistry() if args.metrics else None
+    trace = TraceEmitter(args.trace) if args.trace is not None else None
+    try:
+        for scheme_name in args.scheme:
+            print(f"running {scheme_name} ...")
+            profiler = Profiler() if args.profile else None
+            if checkpointing:
+                spec = _spec_for_run(args, scheme_name, overrides)
+                snapshot = None
+                if args.resume_from is not None:
+                    snapshot = _load_snapshot(args.resume_from)
+                    if snapshot.spec_hash() != spec.content_hash():
+                        embedded = snapshot.spec_hash()
+                        raise SystemExit(
+                            f"snapshot {args.resume_from!r} does not match this "
+                            f"invocation: it embeds spec hash "
+                            f"{'(none)' if embedded is None else embedded[:12] + '...'}, "
+                            f"the command line implies {spec.content_hash()[:12]}...; "
+                            "re-run with the original flags, or replay it under a "
+                            "changed config with `fork`"
+                        )
+                previous_handler = preemption.install_preemption_handler()
+                try:
+                    result = spec.run(
+                        checkpoint_dir=args.checkpoint_dir,
+                        checkpoint_every=args.checkpoint_every,
+                        snapshot=snapshot,
+                        profiler=profiler,
+                        metrics=metrics,
+                        trace=trace,
                     )
-            previous_handler = preemption.install_preemption_handler()
-            try:
-                result = spec.run(
-                    checkpoint_dir=args.checkpoint_dir,
-                    checkpoint_every=args.checkpoint_every,
-                    snapshot=snapshot,
-                    profiler=profiler,
-                )
-            except ExperimentPaused as paused:
-                round_index = paused.snapshot.rounds_completed
-                if args.checkpoint_dir is not None:
-                    path = CheckpointManager(args.checkpoint_dir).path_for(
-                        spec.content_hash()
+                except ExperimentPaused as paused:
+                    round_index = paused.snapshot.rounds_completed
+                    if args.checkpoint_dir is not None:
+                        path = CheckpointManager(args.checkpoint_dir).path_for(
+                            spec.content_hash()
+                        )
+                        print(
+                            f"paused {scheme_name} at round {round_index}; resume with "
+                            f"--resume-from {path}"
+                        )
+                    else:
+                        print(f"paused {scheme_name} at round {round_index}")
+                    return PAUSED_EXIT_CODE
+                except ReproError as error:
+                    raise SystemExit(f"cannot run {scheme_name}: {error}")
+                finally:
+                    preemption.restore_handler(previous_handler)
+                    preemption.reset()
+            else:
+                factory = scheme_factory_from_name(scheme_name, args)
+                try:
+                    result = run_experiment(
+                        task,
+                        factory,
+                        config,
+                        scheme_name=scheme_name,
+                        profiler=profiler,
+                        metrics=metrics,
+                        trace=trace,
                     )
-                    print(
-                        f"paused {scheme_name} at round {round_index}; resume with "
-                        f"--resume-from {path}"
+                except ReproError as error:
+                    # e.g. a scenario whose topology generator cannot fit the
+                    # deployment — undefined setups exit cleanly, never a traceback.
+                    raise SystemExit(f"cannot run {scheme_name}: {error}")
+            results[scheme_name] = result
+            if profiler is not None:
+                print(f"\n[{scheme_name} profile]")
+                print(
+                    format_profile(
+                        result.phase_seconds, result.rounds_completed, profiler.counts
                     )
-                else:
-                    print(f"paused {scheme_name} at round {round_index}")
-                return PAUSED_EXIT_CODE
-            except ReproError as error:
-                raise SystemExit(f"cannot run {scheme_name}: {error}")
-            finally:
-                preemption.restore_handler(previous_handler)
-                preemption.reset()
-        else:
-            factory = scheme_factory_from_name(scheme_name, args)
-            try:
-                result = run_experiment(
-                    task, factory, config, scheme_name=scheme_name, profiler=profiler
                 )
-            except ReproError as error:
-                # e.g. a scenario whose topology generator cannot fit the
-                # deployment — undefined setups exit cleanly, never a traceback.
-                raise SystemExit(f"cannot run {scheme_name}: {error}")
-        results[scheme_name] = result
-        if profiler is not None:
-            print(f"\n[{scheme_name} profile]")
-            print(
-                format_profile(
-                    result.phase_seconds, result.rounds_completed, profiler.counts
-                )
-            )
-            print()
+                print()
+    finally:
+        if trace is not None:
+            trace.close()
 
     print()
     print(summarize_results(results))
+    if metrics is not None:
+        print()
+        print("[metrics]")
+        print(metrics.render())
+    if trace is not None:
+        print(f"\ntrace written to {args.trace}")
     return 0
 
 
@@ -726,6 +807,36 @@ def _build_adhoc_sweep(args: argparse.Namespace) -> Sweep:
     )
 
 
+def _print_sweep_telemetry(
+    args: argparse.Namespace,
+    outcome,
+    metrics: MetricsRegistry | None,
+) -> None:
+    """Aggregated profile / metrics / trace footers of a ``sweep`` invocation.
+
+    The per-cell phase telemetry rides back on the in-memory result objects
+    (never on the stored rows), so the aggregate is a plain sum over the
+    cells this invocation executed.
+    """
+
+    if args.profile:
+        totals: dict[str, float] = {}
+        rounds = 0
+        for spec in outcome.executed:
+            result = outcome.result_for(spec)
+            for phase, seconds in result.phase_seconds.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+            rounds += result.rounds_completed
+        if totals:
+            print(f"\n[profile: aggregated over {len(outcome.executed)} executed cell(s)]")
+            print(format_profile(totals, rounds))
+    if metrics is not None:
+        print(f"\n[metrics: merged over {len(outcome.executed)} executed cell(s)]")
+        print(metrics.render())
+    if args.trace is not None and outcome.executed:
+        print(f"\n{len(outcome.executed)} trace file(s) written to {args.trace}/")
+
+
 def _sweep_command(args: argparse.Namespace) -> int:
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
@@ -767,6 +878,7 @@ def _sweep_command(args: argparse.Namespace) -> int:
         f"sweep={sweep.name} cells={len(sweep)} store={args.store} "
         f"workers={args.workers} (stored: {len(store)})"
     )
+    metrics = MetricsRegistry() if args.metrics else None
     try:
         outcome = run_sweep(
             sweep,
@@ -776,6 +888,9 @@ def _sweep_command(args: argparse.Namespace) -> int:
             force=args.force,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every if args.checkpoint_dir else 0,
+            profile=args.profile,
+            metrics=metrics,
+            trace_dir=args.trace,
         )
     except ConfigurationError as error:
         # e.g. an unknown --scale field, which only surfaces when a cell's
@@ -783,6 +898,7 @@ def _sweep_command(args: argparse.Namespace) -> int:
         raise SystemExit(f"invalid sweep: {error}")
     print()
     print(f"executed {len(outcome.executed)} cell(s), skipped {len(outcome.skipped)}")
+    _print_sweep_telemetry(args, outcome, metrics)
     if outcome.interrupted:
         print(
             f"sweep interrupted: {len(outcome.paused)} cell(s) checkpointed "
@@ -808,18 +924,27 @@ def _fork_command(args: argparse.Namespace) -> int:
         mutations["scenario"] = _resolve_scenario(
             args.scenario, num_nodes, rounds
         ).to_dict()
+    profiler = Profiler() if args.profile else None
+    metrics = MetricsRegistry() if args.metrics else None
+    trace = TraceEmitter(args.trace) if args.trace is not None else None
     try:
         spec, result = run_fork(
             snapshot,
             mutations,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
+            profiler=profiler,
+            metrics=metrics,
+            trace=trace,
         )
     except ExperimentPaused as paused:
         print(f"paused forked run at round {paused.snapshot.rounds_completed}")
         return PAUSED_EXIT_CODE
     except ReproError as error:
         raise SystemExit(f"cannot fork: {error}")
+    finally:
+        if trace is not None:
+            trace.close()
     lineage = spec.lineage or {}
     print(
         f"forked {spec.label} from round {lineage.get('round', snapshot.rounds_completed)}: "
@@ -832,6 +957,27 @@ def _fork_command(args: argparse.Namespace) -> int:
         print(f"stored forked result under {spec.content_hash()} in {args.store}")
     print()
     print(summarize_results({spec.label: result}))
+    if profiler is not None:
+        print("\n[fork profile]")
+        print(
+            format_profile(
+                result.phase_seconds, result.rounds_completed, profiler.counts
+            )
+        )
+    if metrics is not None:
+        print("\n[metrics]")
+        print(metrics.render())
+    return 0
+
+
+def _trace_command(args: argparse.Namespace) -> int:
+    path = Path(args.path)
+    if not path.exists():
+        raise SystemExit(f"trace {args.path!r} does not exist")
+    try:
+        print(summarize_trace(path))
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"cannot summarize trace {args.path!r}: {error}")
     return 0
 
 

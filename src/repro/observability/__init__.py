@@ -1,0 +1,58 @@
+"""Run telemetry: metrics, structured traces, and memory tracking.
+
+``repro.observability`` is the measurement substrate of the reproduction —
+the paper's headline claims are resource claims (bytes on the wire,
+convergence time, scalability), and this package is how a run reports them
+live instead of only through the final result object:
+
+* :mod:`~repro.observability.metrics` — a :class:`MetricsRegistry` of
+  counters/gauges/histograms instrumented through the engine, the byte
+  meter, the checkpoint manager and the sweep executor, with no-op stubs
+  (:data:`NULL_METRICS`) when telemetry is off;
+* :mod:`~repro.observability.trace` — a JSONL :class:`TraceEmitter` writing
+  one record per round/message/evaluation/checkpoint event, wall-clock
+  fields segregated under each record's ``"wall"`` key so a
+  timestamp-stripped trace is byte-stable across reruns;
+* :mod:`~repro.observability.memory` — peak-RSS and optional tracemalloc
+  top-N attribution for profiled runs;
+* :mod:`~repro.observability.contract` — the scrub the result store applies
+  so telemetry never leaks into the determinism contract.
+
+This package is the *only* module tree besides ``repro.utils.profiling``
+sanctioned to read the wall clock (enforced statically by the DET002
+analysis rule).
+"""
+
+from repro.observability.contract import TELEMETRY_RESULT_FIELDS, scrub_telemetry
+from repro.observability.memory import MemoryTracker, peak_rss_bytes
+from repro.observability.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.observability.trace import (
+    TraceEmitter,
+    read_trace,
+    strip_wall,
+    summarize_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MemoryTracker",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetricsRegistry",
+    "TELEMETRY_RESULT_FIELDS",
+    "TraceEmitter",
+    "peak_rss_bytes",
+    "read_trace",
+    "scrub_telemetry",
+    "strip_wall",
+    "summarize_trace",
+]

@@ -1,0 +1,41 @@
+"""The telemetry side of the determinism contract.
+
+Telemetry (profiles, memory stats, metrics, traces) measures real machines
+doing real work, so it can never be part of the byte-identical replay
+guarantees.  The boundary is enforced here: :data:`TELEMETRY_RESULT_FIELDS`
+names every :class:`~repro.simulation.metrics.ExperimentResult` field that
+carries wall-clock-class data, and :func:`scrub_telemetry` resets them to
+their empty defaults.  The result store applies the scrub to every row it
+writes, so a fully instrumented run (``--trace --metrics --profile``)
+persists rows byte-identical to a telemetry-off run's — pinned by tests and
+by the CI determinism stage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["TELEMETRY_RESULT_FIELDS", "scrub_telemetry"]
+
+#: ExperimentResult fields that hold wall-clock-class telemetry, mapped to the
+#: empty default a telemetry-off run serializes.
+TELEMETRY_RESULT_FIELDS: dict[str, Any] = {
+    "phase_seconds": dict,
+    "round_phase_seconds": list,
+    "memory": dict,
+}
+
+
+def scrub_telemetry(result_dict: Mapping[str, Any]) -> dict[str, Any]:
+    """A copy of a result payload with every telemetry field reset to empty.
+
+    Keys absent from ``result_dict`` (legacy payloads) stay absent, so the
+    scrub never changes the byte representation of rows that carried no
+    telemetry in the first place.
+    """
+
+    scrubbed = dict(result_dict)
+    for name, default in TELEMETRY_RESULT_FIELDS.items():
+        if name in scrubbed:
+            scrubbed[name] = default()
+    return scrubbed

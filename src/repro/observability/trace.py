@@ -1,0 +1,264 @@
+"""Structured JSONL run traces with a determinism-preserving wall split.
+
+A :class:`TraceEmitter` writes one JSON object per line: a ``manifest``
+header at the start of every run (spec hash, seed, library versions), then
+one record per round / delivered message / evaluation / checkpoint event and
+a closing ``run_end`` record.  Every record has the shape::
+
+    {"kind": "round", "seq": 7, "round": 3, "now": 41.25, ...,
+     "wall": {"unix_time": 1719244801.22}}
+
+The contract that keeps tracing outside the determinism guarantees is the
+**wall split**: every non-deterministic field (wall-clock timestamps,
+profiler seconds, file paths) lives under the record's ``"wall"`` key, and
+every field outside it is a pure function of the experiment seed.  Stripping
+the ``"wall"`` key from each line (:func:`strip_wall`) therefore yields a
+byte-stable document across reruns — pinned by tests and usable as a fifth
+determinism oracle: diff two stripped traces to localize the first divergent
+event of a broken replay.
+
+:func:`summarize_trace` renders the per-phase / per-node rollups behind the
+``jwins-repro trace summarize`` subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping, TextIO
+
+__all__ = [
+    "TraceEmitter",
+    "read_trace",
+    "strip_wall",
+    "summarize_trace",
+]
+
+#: Record key every non-deterministic field must live under.
+WALL_KEY = "wall"
+
+
+class TraceEmitter:
+    """Append-structured-records-to-JSONL emitter with sequence numbering.
+
+    Parameters
+    ----------
+    path:
+        Trace file to (over)write.  Parent directories are created.
+    wall_clock:
+        Source of the per-record ``wall.unix_time`` stamp; injectable for
+        byte-stable tests.  Defaults to :func:`time.time`.
+    """
+
+    def __init__(
+        self, path: str | Path, wall_clock: Callable[[], float] = time.time
+    ) -> None:
+        self.path = Path(path)
+        self._wall_clock = wall_clock
+        self._handle: TextIO | None = None
+        self._seq = 0
+
+    def _ensure_open(self) -> TextIO:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("w", encoding="utf-8")
+        return self._handle
+
+    def emit(
+        self,
+        kind: str,
+        fields: Mapping[str, Any] | None = None,
+        wall: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Write one record of ``kind``.
+
+        ``fields`` must be deterministic (a pure function of the experiment
+        seed); anything wall-clock-dependent goes in ``wall``, which is
+        emitted under the record's :data:`WALL_KEY` alongside the automatic
+        ``unix_time`` stamp.
+        """
+
+        record: dict[str, Any] = {"kind": kind, "seq": self._seq}
+        if fields:
+            record.update(fields)
+        stamped = dict(wall) if wall else {}
+        stamped["unix_time"] = self._wall_clock()
+        record[WALL_KEY] = stamped
+        handle = self._ensure_open()
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._seq += 1
+
+    def begin_run(self, manifest: Mapping[str, Any]) -> None:
+        """Emit the run-manifest header record (once per run sharing the file)."""
+
+        self.emit("manifest", manifest)
+
+    def flush(self) -> None:
+        """Flush buffered records to disk (the file stays open)."""
+
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the underlying file; further emits reopen it."""
+
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TraceEmitter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a trace file into its records (blank lines skipped)."""
+
+    records = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def strip_wall(path_or_records: str | Path | list[dict[str, Any]]) -> str:
+    """The trace with every record's wall section removed, re-serialized.
+
+    The result is byte-stable across reruns of the same experiment (pinned by
+    tests): two stripped traces can be compared with ``==`` or diffed line by
+    line to find the first divergent event.
+    """
+
+    if isinstance(path_or_records, (str, Path)):
+        records = read_trace(path_or_records)
+    else:
+        records = path_or_records
+    lines = []
+    for record in records:
+        stripped = {key: value for key, value in record.items() if key != WALL_KEY}
+        lines.append(json.dumps(stripped, sort_keys=True))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _rollup_rows(title: str, header: tuple[str, ...], rows: list[tuple]) -> list[str]:
+    """Render one titled fixed-width table section."""
+
+    widths = [
+        max(len(str(header[i])), max((len(str(row[i])) for row in rows), default=0))
+        for i in range(len(header))
+    ]
+    lines = [title]
+    lines.append("  " + "  ".join(f"{header[i]:<{widths[i]}}" for i in range(len(header))))
+    for row in rows:
+        lines.append("  " + "  ".join(f"{str(row[i]):<{widths[i]}}" for i in range(len(header))))
+    return lines
+
+
+def summarize_trace(path: str | Path) -> str:
+    """Per-run, per-phase and per-node rollups of one trace file.
+
+    Renders, per traced run: the manifest identity line, record counts by
+    kind, the evaluation trajectory end points, a per-node table (rounds
+    completed, messages and bytes received) and — when the run was profiled —
+    the per-phase wall-clock seconds carried by the ``run_end`` record.
+    """
+
+    records = read_trace(path)
+    if not records:
+        return f"trace {str(path)!r} is empty"
+
+    # Split the file into runs at manifest boundaries (a CLI invocation
+    # comparing several schemes writes them back to back into one file).
+    runs: list[list[dict[str, Any]]] = []
+    for record in records:
+        if record.get("kind") == "manifest" or not runs:
+            runs.append([])
+        runs[-1].append(record)
+
+    lines: list[str] = [f"trace: {path}  ({len(records)} record(s), {len(runs)} run(s))"]
+    for index, run in enumerate(runs):
+        manifest = run[0] if run[0].get("kind") == "manifest" else {}
+        identity = " ".join(
+            f"{key}={manifest[key]}"
+            for key in ("scheme", "task", "num_nodes", "rounds", "seed", "execution")
+            if key in manifest
+        )
+        spec_hash = manifest.get("spec_hash")
+        if spec_hash:
+            identity += f" spec={str(spec_hash)[:12]}..."
+        lines.append("")
+        lines.append(f"run {index}: {identity}" if identity else f"run {index}:")
+
+        counts: dict[str, int] = {}
+        per_node: dict[int, dict[str, float]] = {}
+        evaluations: list[dict[str, Any]] = []
+        run_end: dict[str, Any] | None = None
+        for record in run:
+            kind = record.get("kind", "?")
+            counts[kind] = counts.get(kind, 0) + 1
+            if kind == "message":
+                node = per_node.setdefault(
+                    int(record["receiver"]), {"rounds": 0, "messages": 0, "bytes": 0.0}
+                )
+                node["messages"] += 1
+                node["bytes"] += float(record.get("bytes", 0.0))
+            elif kind == "round" and record.get("node") is not None:
+                node = per_node.setdefault(
+                    int(record["node"]), {"rounds": 0, "messages": 0, "bytes": 0.0}
+                )
+                node["rounds"] += 1
+            elif kind == "evaluate":
+                evaluations.append(record)
+            elif kind == "run_end":
+                run_end = record
+
+        lines.append(
+            "  records: "
+            + ", ".join(f"{kind}={counts[kind]}" for kind in sorted(counts))
+        )
+        if run_end is not None:
+            lines.append(
+                f"  rounds_completed={run_end.get('rounds_completed')} "
+                f"total_bytes={run_end.get('total_bytes')}"
+            )
+        if evaluations:
+            first, last = evaluations[0], evaluations[-1]
+            lines.append(
+                f"  accuracy: {first.get('accuracy'):.4f} (round {first.get('round')})"
+                f" -> {last.get('accuracy'):.4f} (round {last.get('round')})"
+            )
+        if per_node:
+            rows = [
+                (
+                    node_id,
+                    int(per_node[node_id]["rounds"]),
+                    int(per_node[node_id]["messages"]),
+                    int(per_node[node_id]["bytes"]),
+                )
+                for node_id in sorted(per_node)
+            ]
+            lines.extend(
+                _rollup_rows(
+                    "  per-node:",
+                    ("node", "rounds", "messages_received", "bytes_received"),
+                    rows,
+                )
+            )
+        phase_seconds = (run_end or {}).get(WALL_KEY, {}).get("phase_seconds") or {}
+        if phase_seconds:
+            rows = [
+                (name, f"{seconds:.3f}")
+                for name, seconds in sorted(
+                    phase_seconds.items(), key=lambda item: -item[1]
+                )
+            ]
+            lines.extend(_rollup_rows("  per-phase (wall seconds):", ("phase", "seconds"), rows))
+        peak_rss = (run_end or {}).get(WALL_KEY, {}).get("peak_rss_bytes")
+        if peak_rss:
+            lines.append(f"  peak_rss: {peak_rss / (1024 * 1024):.1f} MiB")
+    return "\n".join(lines)

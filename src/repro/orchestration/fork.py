@@ -27,6 +27,9 @@ from repro.simulation import ExperimentResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.checkpoint.snapshot import SimulationSnapshot
+    from repro.observability.metrics import MetricsRegistry
+    from repro.observability.trace import TraceEmitter
+    from repro.utils.profiling import Profiler
 
 __all__ = ["build_forked_spec", "run_fork"]
 
@@ -82,12 +85,17 @@ def run_fork(
     mutations: Mapping[str, Any] | None = None,
     checkpoint_dir: str | None = None,
     checkpoint_every: int = 0,
+    profiler: "Profiler | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+    trace: "TraceEmitter | None" = None,
 ) -> tuple[ExperimentSpec, ExperimentResult]:
     """Fork ``snapshot`` under ``mutations`` and run the future to completion.
 
     Returns the forked spec (hash-distinct from the parent whenever lineage
     or mutations differ) together with its result.  The forked run is itself
-    checkpointable via ``checkpoint_dir``/``checkpoint_every``.
+    checkpointable via ``checkpoint_dir``/``checkpoint_every``; ``profiler``,
+    ``metrics`` and ``trace`` attach run telemetry exactly as on a plain run
+    (and stay outside the determinism contract).
     """
 
     spec = build_forked_spec(snapshot, mutations)
@@ -96,5 +104,8 @@ def run_fork(
         checkpoint_every=checkpoint_every,
         snapshot=snapshot,
         verify_spec=False,
+        profiler=profiler,
+        metrics=metrics,
+        trace=trace,
     )
     return spec, result

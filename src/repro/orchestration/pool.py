@@ -30,14 +30,18 @@ import os
 import signal
 import threading
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Sequence
 
 from repro.checkpoint import preemption
 from repro.exceptions import ExperimentPaused
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import TraceEmitter
 from repro.orchestration.spec import ExperimentSpec
 from repro.orchestration.store import ResultStore
 from repro.orchestration.sweep import Sweep
 from repro.simulation import ExperimentResult
+from repro.utils.profiling import Profiler
 
 __all__ = ["SweepObserver", "SweepOutcome", "run_sweep"]
 
@@ -104,32 +108,63 @@ class SweepOutcome:
         }
 
 
+def _cell_trace(trace_dir: str | None, key: str) -> TraceEmitter | None:
+    """The per-cell trace emitter, or ``None`` when tracing is off.
+
+    Every cell writes its own file, named by its content hash, so the file
+    set — and each file's stripped byte content — is identical for any worker
+    count and any completion order.
+    """
+
+    if trace_dir is None:
+        return None
+    return TraceEmitter(Path(trace_dir) / f"{key}.trace.jsonl")
+
+
 def _execute_spec_task(
-    task: tuple[dict[str, Any], str | None, int],
+    task: tuple[dict[str, Any], str | None, int, dict[str, Any]],
 ) -> tuple[str, dict[str, Any]]:
     """Preemptible worker entry point.
 
     Returns ``(key, payload)`` with ``payload["status"]`` one of ``"done"``
     (carries the result), ``"paused"`` (the cell checkpointed and stopped) or
     ``"preempted"`` (the worker saw the interrupt before starting the cell,
-    draining the queue quickly).
+    draining the queue quickly).  When the sweep's ``telemetry`` options ask
+    for metrics, the payload also carries the worker registry's snapshot for
+    the parent to merge.
     """
 
-    spec_dict, checkpoint_dir, checkpoint_every = task
+    spec_dict, checkpoint_dir, checkpoint_every, telemetry = task
     spec = ExperimentSpec.from_dict(spec_dict)
     key = spec.content_hash()
     if preemption.interrupted():
         return key, {"status": "preempted"}
+    profiler = Profiler() if telemetry.get("profile") else None
+    registry = MetricsRegistry() if telemetry.get("metrics") else None
+    trace = _cell_trace(telemetry.get("trace_dir"), key)
     try:
         result = spec.run(
-            checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            profiler=profiler,
+            metrics=registry,
+            trace=trace,
         )
     except ExperimentPaused as paused:
-        return key, {
+        payload: dict[str, Any] = {
             "status": "paused",
             "rounds_completed": int(paused.snapshot.rounds_completed),
         }
-    return key, {"status": "done", "result": result.to_dict()}
+        if registry is not None:
+            payload["metrics"] = registry.to_dict()
+        return key, payload
+    finally:
+        if trace is not None:
+            trace.close()
+    payload = {"status": "done", "result": result.to_dict()}
+    if registry is not None:
+        payload["metrics"] = registry.to_dict()
+    return key, payload
 
 
 def _worker_initializer() -> None:
@@ -155,6 +190,9 @@ def run_sweep(
     force: bool = False,
     checkpoint_dir: str | None = None,
     checkpoint_every: int = 0,
+    profile: bool = False,
+    metrics: MetricsRegistry | None = None,
+    trace_dir: str | Path | None = None,
 ) -> SweepOutcome:
     """Execute every cell of ``sweep`` that the store does not already hold.
 
@@ -181,6 +219,22 @@ def run_sweep(
     checkpoint_every:
         Cadence (in completed global rounds) of per-cell snapshots; requires
         ``checkpoint_dir``.
+    profile:
+        Attach a fresh :class:`~repro.utils.profiling.Profiler` to every
+        executed cell; the phase telemetry rides back on each result object
+        (``result.phase_seconds``), where the CLI aggregates it.  The store
+        scrubs those fields at write time, so persisted rows stay
+        byte-identical with profiling on or off.
+    metrics:
+        Parent :class:`~repro.observability.metrics.MetricsRegistry`.  Every
+        executed cell records into a registry of its own (in-process when
+        serial, shipped back as a snapshot from pool workers) and the parent
+        folds the per-cell registries in with the order-independent merge —
+        the merged registry is identical for any worker count.
+    trace_dir:
+        Directory receiving one ``<spec hash>.trace.jsonl`` per executed
+        cell.  Per-cell files keep stripped traces byte-identical across
+        worker counts (a shared file would interleave nondeterministically).
     """
 
     if isinstance(sweep, Sweep):
@@ -225,6 +279,11 @@ def run_sweep(
         observer.on_result(spec, result)
 
     preemptible = checkpoint_dir is not None
+    telemetry = {
+        "profile": profile,
+        "metrics": metrics is not None,
+        "trace_dir": None if trace_dir is None else str(trace_dir),
+    }
     previous_handler = preemption.install_preemption_handler() if preemptible else None
     try:
         if workers == 1 or len(pending) <= 1:
@@ -233,21 +292,34 @@ def run_sweep(
                     outcome.interrupted = True
                     break
                 observer.on_start(spec)
+                # Per-cell registry even in-process, so gauges merge with the
+                # same max semantics a pool run uses.
+                registry = MetricsRegistry() if metrics is not None else None
+                trace = _cell_trace(telemetry["trace_dir"], spec.content_hash())
                 try:
                     result = spec.run(
                         checkpoint_dir=checkpoint_dir,
                         checkpoint_every=checkpoint_every,
+                        profiler=Profiler() if profile else None,
+                        metrics=registry,
+                        trace=trace,
                     )
                 except ExperimentPaused as paused:
                     outcome.paused.append(spec)
                     outcome.interrupted = True
                     observer.on_pause(spec, int(paused.snapshot.rounds_completed))
                     break
+                finally:
+                    if trace is not None:
+                        trace.close()
+                    if registry is not None:
+                        metrics.merge(registry)
                 record(spec, result.to_dict())
         else:
             by_key = {spec.content_hash(): spec for spec in pending}
             tasks = [
-                (spec.to_dict(), checkpoint_dir, checkpoint_every) for spec in pending
+                (spec.to_dict(), checkpoint_dir, checkpoint_every, telemetry)
+                for spec in pending
             ]
             initializer = _worker_initializer if preemptible else None
             with _pool_context().Pool(
@@ -277,6 +349,8 @@ def run_sweep(
                 for key, payload in pool.imap(_execute_spec_task, tasks):
                     spec = by_key[key]
                     status = payload["status"]
+                    if metrics is not None and "metrics" in payload:
+                        metrics.merge(payload["metrics"])
                     if status == "done":
                         record(spec, payload["result"])
                     elif status == "paused":

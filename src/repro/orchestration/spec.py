@@ -38,6 +38,8 @@ from repro.simulation.timing import time_model_from_dict
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.checkpoint.snapshot import SimulationSnapshot
+    from repro.observability.metrics import MetricsRegistry
+    from repro.observability.trace import TraceEmitter
     from repro.utils.profiling import Profiler
 
 __all__ = ["ExperimentSpec"]
@@ -190,6 +192,8 @@ class ExperimentSpec:
         snapshot: "SimulationSnapshot | None" = None,
         verify_spec: bool = True,
         profiler: "Profiler | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+        trace: "TraceEmitter | None" = None,
     ) -> ExperimentResult:
         """Execute this cell and return its result.
 
@@ -202,13 +206,24 @@ class ExperimentSpec:
         wins over the directory lookup; ``verify_spec=False`` relaxes the
         snapshot-belongs-to-this-spec check (the ``fork`` workflow, which
         replays a parent spec's snapshot under a mutated config).
+
+        ``profiler``, ``metrics`` and ``trace`` attach the telemetry layer
+        (see :mod:`repro.observability`); all three stay outside the
+        determinism contract.
         """
 
         task, factory, config, _ = self.build()
         if checkpoint_dir is None and snapshot is None and checkpoint_every <= 0:
             # The historical path, untouched: no checkpoint machinery at all.
             return run_experiment(
-                task, factory, config, scheme_name=self.scheme.label, profiler=profiler
+                task,
+                factory,
+                config,
+                scheme_name=self.scheme.label,
+                profiler=profiler,
+                spec=self.to_dict(),
+                metrics=metrics,
+                trace=trace,
             )
 
         from repro.checkpoint.manager import CheckpointManager
@@ -217,7 +232,11 @@ class ExperimentSpec:
             raise ConfigurationError(
                 "checkpoint_every requires a checkpoint_dir to save snapshots into"
             )
-        manager = CheckpointManager(checkpoint_dir) if checkpoint_dir is not None else None
+        manager = (
+            CheckpointManager(checkpoint_dir, metrics=metrics)
+            if checkpoint_dir is not None
+            else None
+        )
         key = self.content_hash()
         if snapshot is None and manager is not None:
             snapshot = manager.load_for_spec(self)
@@ -247,4 +266,6 @@ class ExperimentSpec:
             checkpoint_sink=None if manager is None else manager.sink_for(key),
             resume_from=snapshot,
             spec=self.to_dict(),
+            metrics=metrics,
+            trace=trace,
         )

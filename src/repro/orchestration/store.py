@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any, Iterator, Mapping
 
 from repro.exceptions import ConfigurationError
+from repro.observability.contract import scrub_telemetry
 from repro.orchestration.spec import ExperimentSpec
 from repro.simulation import ExperimentResult
 
@@ -111,10 +112,17 @@ class ResultStore:
 
         ``result`` may already be a ``to_dict()`` mapping (workers ship dicts
         across the process boundary); both forms store identically.
+
+        Telemetry fields (profiler seconds, memory stats — see
+        :data:`repro.observability.contract.TELEMETRY_RESULT_FIELDS`) are
+        scrubbed to their empty defaults before the row is written: stored
+        rows are part of the determinism contract and must be byte-identical
+        whether or not the run was instrumented.  The caller's ``result``
+        object keeps its telemetry untouched.
         """
 
-        result_dict = (
-            result.to_dict() if isinstance(result, ExperimentResult) else dict(result)
+        result_dict = scrub_telemetry(
+            result.to_dict() if isinstance(result, ExperimentResult) else result
         )
         key = spec.content_hash()
         record = {"key": key, "spec": spec.to_dict(), "result": result_dict}

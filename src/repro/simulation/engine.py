@@ -24,6 +24,9 @@ API every benchmark and example uses.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import platform
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Any, Callable
 
@@ -43,6 +46,9 @@ from repro.simulation.events import (
     START_ROUND,
     EventLoop,
 )
+from repro.observability.memory import peak_rss_bytes
+from repro.observability.metrics import NULL_METRICS, MetricsRegistry
+from repro.observability.trace import TraceEmitter
 from repro.simulation.experiment import ExperimentConfig
 from repro.simulation.metrics import ExperimentResult, RoundRecord
 from repro.simulation.network import ByteMeter
@@ -204,6 +210,15 @@ class Simulator:
     spec:
         Optional ``ExperimentSpec.to_dict()`` payload embedded in every
         captured snapshot, tying it to its orchestration cell.
+    metrics:
+        Optional :class:`~repro.observability.metrics.MetricsRegistry`
+        collecting run telemetry (bytes and messages per scheme, drops and
+        suppressions, events processed, round latencies).  Defaults to the
+        shared no-op registry, so instrumented code paths never branch.
+    trace:
+        Optional :class:`~repro.observability.trace.TraceEmitter` receiving
+        one structured record per round, delivered message, evaluation and
+        checkpoint, bracketed by a run manifest and a ``run_end`` summary.
     """
 
     def __init__(
@@ -218,6 +233,8 @@ class Simulator:
         checkpoint_sink: Callable[["SimulationSnapshot"], None] | None = None,
         resume_from: "SimulationSnapshot | None" = None,
         spec: dict[str, Any] | None = None,
+        metrics: MetricsRegistry | None = None,
+        trace: TraceEmitter | None = None,
     ) -> None:
         self.task = task
         self.config = config
@@ -232,17 +249,38 @@ class Simulator:
         )
         self.weights = metropolis_hastings_weights(self.topology)
 
-        self.meter = ByteMeter(config.num_nodes)
+        resolved_scheme = scheme_name or self.nodes[0].scheme.name
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.trace = trace
+        self.meter = ByteMeter(
+            config.num_nodes, metrics=self.metrics, scheme=resolved_scheme
+        )
         self.profiler = profiler
         self._eval_rng = self.seeds.rng("evaluation")
         self._drop_rng = self.seeds.rng("message-drops")
+
+        # Instruments are resolved once; recording through them is a no-op
+        # attribute call when telemetry is off, so the hot loops never branch.
+        self._m_events = self.metrics.counter("engine_events_processed")
+        self._m_rounds = self.metrics.gauge("engine_rounds_completed")
+        self._m_delivered = self.metrics.counter(
+            "engine_messages_delivered", scheme=resolved_scheme
+        )
+        self._m_bytes_received = self.metrics.counter(
+            "net_bytes_received", scheme=resolved_scheme
+        )
+        self._m_dropped = self.metrics.counter("engine_messages_dropped")
+        self._m_suppressed = self.metrics.counter("engine_messages_suppressed")
+        self._m_evaluations = self.metrics.counter("engine_evaluations")
+        self._m_round_latency = self.metrics.histogram("engine_round_latency_seconds")
+        self._latency_marks: dict[int, float] = {}
 
         if mode is None:
             mode = SynchronousMode() if config.execution == "sync" else AsynchronousMode()
         self.mode = mode
 
         self.result = ExperimentResult(
-            scheme=scheme_name or self.nodes[0].scheme.name,
+            scheme=resolved_scheme,
             task=task.name,
             num_nodes=config.num_nodes,
             rounds_completed=0,
@@ -296,6 +334,15 @@ class Simulator:
         )
 
     def emit_round_end(self, round_index: int, node_id: int | None, now: float) -> None:
+        self._m_rounds.set(float(self.result.rounds_completed))
+        if self.metrics.enabled:
+            # Per-node round latency in simulated seconds (the barrier's under
+            # sync, where round ends are global and keyed as node -1).
+            key = -1 if node_id is None else node_id
+            self._m_round_latency.observe(now - self._latency_marks.get(key, 0.0))
+            self._latency_marks[key] = now
+        if self.trace is not None:
+            self.trace.emit("round", {"round": round_index, "node": node_id, "now": now})
         for callback in self._round_end_callbacks:
             callback(round_index, node_id, now)
 
@@ -310,6 +357,18 @@ class Simulator:
             self.profiler.mark_round(round_index)
 
     def emit_message(self, message: Message, receiver: int, now: float) -> None:
+        self._m_delivered.inc()
+        self._m_bytes_received.inc(message.size.total_bytes)
+        if self.trace is not None:
+            self.trace.emit(
+                "message",
+                {
+                    "sender": message.sender,
+                    "receiver": receiver,
+                    "bytes": float(message.size.total_bytes),
+                    "now": now,
+                },
+            )
         for callback in self._message_callbacks:
             callback(message, receiver, now)
 
@@ -352,6 +411,15 @@ class Simulator:
         from repro.checkpoint.snapshot import capture_snapshot
 
         snapshot = capture_snapshot(self, build_mode_state())
+        self.metrics.counter("engine_snapshots_captured").inc()
+        if self.trace is not None:
+            self.trace.emit(
+                "checkpoint",
+                {
+                    "rounds_completed": self.result.rounds_completed,
+                    "reason": "stop" if stopping else "cadence",
+                },
+            )
         if self.checkpoint_sink is not None:
             self.checkpoint_sink(snapshot)
         if stopping:
@@ -497,6 +565,18 @@ class Simulator:
             average_shared_fraction=shared_fraction,
         )
         self.result.history.append(record)
+        self._m_evaluations.inc()
+        if self.trace is not None:
+            self.trace.emit(
+                "evaluate",
+                {
+                    "round": record.round_index,
+                    "accuracy": record.test_accuracy,
+                    "loss": record.test_loss,
+                    "bytes_per_node": record.cumulative_bytes_per_node,
+                    "now": now,
+                },
+            )
         if (
             self.config.target_accuracy is not None
             and self.result.reached_target_at_round is None
@@ -516,6 +596,34 @@ class Simulator:
             and self.result.reached_target_at_round is not None
         )
 
+    def run_manifest(self) -> dict[str, Any]:
+        """The identity header the trace's ``manifest`` record carries.
+
+        Everything here is stable for a given machine and spec — the seed,
+        sizes, execution mode, library versions and (when the run came from an
+        orchestration cell) the spec content hash — so stripped traces stay
+        byte-identical across reruns.
+        """
+
+        manifest: dict[str, Any] = {
+            "scheme": self.result.scheme,
+            "task": self.result.task,
+            "num_nodes": int(self.config.num_nodes),
+            "rounds": int(self.config.rounds),
+            "seed": int(self.config.seed),
+            "execution": self.mode.name,
+            "versions": {
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+            },
+        }
+        if self.spec_payload is not None:
+            canonical = json.dumps(
+                self.spec_payload, sort_keys=True, separators=(",", ":")
+            )
+            manifest["spec_hash"] = hashlib.sha256(canonical.encode()).hexdigest()
+        return manifest
+
     # -- driving -------------------------------------------------------------------
     def run(self) -> ExperimentResult:
         """Run the experiment once and return the finished result.
@@ -530,6 +638,10 @@ class Simulator:
                 "a Simulator instance is single-shot; build a new one to re-run"
             )
         self._ran = True
+        if self.trace is not None:
+            self.trace.begin_run(self.run_manifest())
+        if self.profiler is not None and self.profiler.memory is not None:
+            self.profiler.memory.start()
         preemption.register(self)
         try:
             self.mode.run(self)
@@ -538,9 +650,13 @@ class Simulator:
         if self.profiler is not None:
             # Flush work recorded after the last round boundary (e.g. the
             # final evaluation) into a trailing row before copying.
-            self.profiler.mark_round(self.result.rounds_completed)
+            self.profiler.flush(self.result.rounds_completed)
             self.result.phase_seconds = self.profiler.totals
             self.result.round_phase_seconds = self.profiler.round_rows
+            memory: dict[str, Any] = {"peak_rss_bytes": peak_rss_bytes()}
+            if self.profiler.memory is not None:
+                memory.update(self.profiler.memory.stop())
+            self.result.memory = memory
         if self.scenario.has_events:
             # The trace is a pure function of the schedule, recorded for every
             # round the run actually completed (early stop truncates it).
@@ -556,6 +672,22 @@ class Simulator:
         self.result.total_bytes = self.meter.total_bytes
         self.result.total_metadata_bytes = self.meter.total_metadata_bytes
         self.result.total_values_bytes = self.meter.total_values_bytes
+        if self.trace is not None:
+            wall: dict[str, Any] = {"peak_rss_bytes": peak_rss_bytes()}
+            if self.result.phase_seconds:
+                wall["phase_seconds"] = dict(self.result.phase_seconds)
+            self.trace.emit(
+                "run_end",
+                {
+                    "rounds_completed": self.result.rounds_completed,
+                    "total_bytes": float(self.result.total_bytes),
+                    "simulated_time_seconds": float(
+                        self.result.simulated_time_seconds
+                    ),
+                },
+                wall=wall,
+            )
+            self.trace.flush()
         return self.result
 
 
@@ -610,15 +742,24 @@ class SynchronousMode(ExecutionMode):
             round_fractions = [
                 messages[node_id].shared_fraction for node_id in state.active
             ]
+            drops_enabled = config.message_drop_probability > 0.0
             for node in active_nodes:
                 context = contexts[node.node_id]
-                inbox = [
-                    messages[neighbor]
-                    for neighbor in simulator.topology.neighbors(node.node_id)
-                    if neighbor in messages and state.allows(neighbor, node.node_id)
-                ]
-                if config.message_drop_probability > 0.0:
-                    inbox = [m for m in inbox if simulator.deliver_allowed()]
+                # One pass per neighbor, preserving the original draw order of
+                # the drop RNG: a delivery draw happens exactly for the
+                # messages that passed the scenario filter, in neighbor order.
+                inbox: list[Message] = []
+                for neighbor in simulator.topology.neighbors(node.node_id):
+                    message = messages.get(neighbor)
+                    if message is None:
+                        continue  # the sender sat this round out
+                    if not state.allows(neighbor, node.node_id):
+                        simulator._m_suppressed.inc()
+                        continue
+                    if drops_enabled and not simulator.deliver_allowed():
+                        simulator._m_dropped.inc()
+                        continue
+                    inbox.append(message)
                 for message in inbox:
                     simulator.emit_message(message, node.node_id, clock)
                 with simulator.profile("aggregate"):
@@ -839,6 +980,7 @@ class AsynchronousMode(ExecutionMode):
 
         while loop:
             event = loop.pop()
+            simulator._m_events.inc()
             now, node_id = event.time, event.node_id
             if event.kind != DELIVER_MESSAGE:
                 # A delivery is passive: it lands in the inbox without
@@ -892,9 +1034,12 @@ class AsynchronousMode(ExecutionMode):
                     if not state.allows(node_id, neighbor):
                         # Partitioned away or offline (judged in the sender's
                         # round): the copy leaves the uplink but never lands.
+                        simulator._m_suppressed.inc()
                         continue
                     if not simulator.deliver_allowed():
-                        continue  # dropped in flight; uplink bytes already metered
+                        # Dropped in flight; uplink bytes already metered.
+                        simulator._m_dropped.inc()
+                        continue
                     latency = time_model.sample_link_latency(latency_rng)
                     loop.schedule(
                         sent_at + latency,
@@ -908,6 +1053,7 @@ class AsynchronousMode(ExecutionMode):
                 if not simulator.scenario_state(node_round[node_id]).is_active(node_id):
                     # The receiver is offline in its own current round: the
                     # delivery is lost, not parked for after the outage.
+                    simulator._m_suppressed.inc()
                     continue
                 message = event.data["message"]
                 round_sent = event.data["round"]

@@ -89,6 +89,12 @@ class ExperimentResult:
     #: Per-round phase breakdown rows (``{"round": r, phase: seconds, ...}``)
     #: from the attached profiler; empty when profiling was off.
     round_phase_seconds: list[dict[str, float]] = field(default_factory=list)
+    #: Peak-memory telemetry captured at run end: ``peak_rss_bytes`` (the OS
+    #: high-water mark) plus, when the profiler carried a
+    #: :class:`~repro.observability.memory.MemoryTracker`, the tracemalloc
+    #: peak and top allocation sites.  Empty unless a profiler was attached;
+    #: wall-clock-class data the result store scrubs.
+    memory: dict[str, Any] = field(default_factory=dict)
     #: Per-round scenario trace rows ``{"round": r, "active_nodes": [...],
     #: "partition_ids": [...]}`` — which nodes were up and, if a partition
     #: window was open, which group each node sat in (``None`` = unlisted).
@@ -125,6 +131,7 @@ class ExperimentResult:
                 {name: float(v) for name, v in row.items()}
                 for row in self.round_phase_seconds
             ],
+            "memory": dict(self.memory),
             "scenario_rounds": [
                 {
                     "round": int(row["round"]),

@@ -25,6 +25,8 @@ from repro.utils.profiling import Profiler
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.checkpoint.snapshot import SimulationSnapshot
+    from repro.observability.metrics import MetricsRegistry
+    from repro.observability.trace import TraceEmitter
 
 __all__ = ["build_nodes", "resume_experiment", "run_experiment"]
 
@@ -39,6 +41,8 @@ def run_experiment(
     checkpoint_sink: Callable[["SimulationSnapshot"], None] | None = None,
     resume_from: "SimulationSnapshot | None" = None,
     spec: dict[str, Any] | None = None,
+    metrics: "MetricsRegistry | None" = None,
+    trace: "TraceEmitter | None" = None,
 ) -> ExperimentResult:
     """Run one decentralized-learning experiment and return its metrics.
 
@@ -56,6 +60,12 @@ def run_experiment(
     :mod:`repro.checkpoint`), and ``spec`` tags snapshots with the
     orchestration cell that produced them.  All default to off, in which case
     behaviour is bit-identical to a build without checkpointing.
+
+    ``metrics`` and ``trace`` attach the observability layer (see
+    :mod:`repro.observability`): a live registry collects run counters and a
+    trace emitter receives one structured record per round/message/evaluation
+    event.  Both are pure telemetry — the returned result and any persisted
+    store rows are byte-identical with them on or off.
     """
 
     simulator = Simulator(
@@ -68,6 +78,8 @@ def run_experiment(
         checkpoint_sink=checkpoint_sink,
         resume_from=resume_from,
         spec=spec,
+        metrics=metrics,
+        trace=trace,
     )
     return simulator.run()
 
@@ -82,6 +94,8 @@ def resume_experiment(
     checkpoint_every: int = 0,
     checkpoint_sink: Callable[["SimulationSnapshot"], None] | None = None,
     spec: dict[str, Any] | None = None,
+    metrics: "MetricsRegistry | None" = None,
+    trace: "TraceEmitter | None" = None,
 ) -> ExperimentResult:
     """Continue a checkpointed experiment from ``snapshot`` to completion.
 
@@ -103,4 +117,6 @@ def resume_experiment(
         checkpoint_sink=checkpoint_sink,
         resume_from=snapshot,
         spec=spec,
+        metrics=metrics,
+        trace=trace,
     )

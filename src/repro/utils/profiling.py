@@ -28,7 +28,10 @@ Typical use::
 from __future__ import annotations
 
 import time
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.observability.memory import MemoryTracker
 
 __all__ = ["PhaseTimer", "Profiler", "format_profile"]
 
@@ -59,10 +62,20 @@ class Profiler:
     clock:
         The time source; injectable for deterministic tests.  Defaults to
         :func:`time.perf_counter`.
+    memory:
+        Optional :class:`~repro.observability.memory.MemoryTracker` riding
+        along with the profile: the engine starts it with the run and folds
+        its tracemalloc stats into :attr:`ExperimentResult.memory` at the
+        end, next to the peak-RSS reading every profiled run gets for free.
     """
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        memory: "MemoryTracker | None" = None,
+    ) -> None:
         self.clock = clock
+        self.memory = memory
         self._totals: dict[str, float] = {}
         self._counts: dict[str, int] = {}
         self._round_rows: list[dict[str, float]] = []
@@ -95,6 +108,17 @@ class Profiler:
         row.update(self._since_mark)
         self._round_rows.append(row)
         self._since_mark = {}
+
+    def flush(self, round_index: int) -> None:
+        """Close out any durations still pending after the last round mark.
+
+        Work recorded after the final :meth:`mark_round` — typically the
+        closing evaluation of a run — would otherwise never reach
+        :attr:`round_rows`.  The engine calls this once at run end;
+        idempotent when nothing is pending.
+        """
+
+        self.mark_round(round_index)
 
     @property
     def totals(self) -> dict[str, float]:

@@ -86,6 +86,20 @@ class TestDet002WallClock:
         source = "import time\nt = time.perf_counter()\n"
         assert self.run(source, filename="src/repro/utils/profiling.py") == []
 
+    def test_observability_package_exempt(self):
+        # The trace emitter's wall-clock timestamps are the sanctioned reason
+        # the observability layer reads real time.
+        source = "import time\nstamp = time.time()\n"
+        assert self.run(source, filename="src/repro/observability/trace.py") == []
+        assert self.run(source, filename="src/repro/observability/metrics.py") == []
+
+    def test_observability_lookalike_module_still_flagged(self):
+        # Only the real package is sanctioned; a sibling named to resemble it
+        # (repro.observability_extras) must not inherit the exemption.
+        source = "import time\nstamp = time.time()\n"
+        findings = self.run(source, filename="src/repro/observability_extras.py")
+        assert rules_of(findings) == ["DET002"]
+
 
 class TestDet003UnorderedIteration:
     def run(self, source, filename=ENGINE):

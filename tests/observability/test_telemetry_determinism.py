@@ -1,0 +1,199 @@
+"""Telemetry stays outside the determinism contract — pinned end to end.
+
+Four guarantees:
+
+* a fully instrumented run (profiler + metrics + trace) produces results
+  bit-identical to a bare run;
+* stored rows are byte-identical with telemetry on or off (the store scrubs);
+* a stripped trace is byte-stable across reruns (the fifth determinism
+  oracle);
+* sweep telemetry (merged metrics, per-cell traces) is identical for any
+  worker count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.full_sharing import full_sharing_factory
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import TraceEmitter, read_trace, strip_wall
+from repro.orchestration.pool import run_sweep
+from repro.orchestration.schemes import SchemeSpec
+from repro.orchestration.spec import ExperimentSpec
+from repro.orchestration.store import ResultStore
+from repro.orchestration.sweep import Sweep
+from repro.simulation.experiment import ExperimentConfig
+from repro.simulation.runner import run_experiment
+from repro.utils.profiling import Profiler
+from tests.conftest import make_toy_task
+
+TINY = {"num_nodes": 4, "degree": 2, "rounds": 2, "eval_every": 1, "eval_test_samples": 32}
+
+
+class FixedClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+def _tiny_config(**overrides) -> ExperimentConfig:
+    base = dict(
+        num_nodes=4, degree=2, rounds=3, local_steps=1, batch_size=4,
+        eval_every=2, eval_test_samples=16, seed=5,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def _sweep() -> Sweep:
+    return Sweep(
+        name="telemetry",
+        workloads=("movielens",),
+        schemes=(SchemeSpec("jwins"), SchemeSpec("full-sharing")),
+        base_overrides=TINY,
+    )
+
+
+@pytest.mark.parametrize("execution", ["sync", "async"])
+def test_instrumented_run_is_bit_identical_to_plain(tmp_path, execution):
+    task = make_toy_task(seed=5)
+    plain = run_experiment(task, full_sharing_factory(), _tiny_config(execution=execution))
+    instrumented = run_experiment(
+        task,
+        full_sharing_factory(),
+        _tiny_config(execution=execution),
+        profiler=Profiler(),
+        metrics=MetricsRegistry(),
+        trace=TraceEmitter(tmp_path / "run.trace.jsonl"),
+    )
+    assert plain.history == instrumented.history
+    assert plain.total_bytes == instrumented.total_bytes
+    assert plain.simulated_time_seconds == instrumented.simulated_time_seconds
+
+
+def test_engine_populates_the_metrics_catalog():
+    task = make_toy_task(seed=5)
+    registry = MetricsRegistry()
+    result = run_experiment(
+        task, full_sharing_factory(), _tiny_config(), metrics=registry
+    )
+    # 4 nodes x degree 2 x 3 rounds, nothing dropped or suppressed.
+    assert registry.value("engine_messages_delivered{scheme=full-sharing}") == 24
+    assert registry.value("net_messages_sent{scheme=full-sharing}") == 24
+    assert registry.value("engine_rounds_completed") == 3
+    assert registry.value("engine_messages_dropped") == 0
+    assert registry.value("engine_messages_suppressed") == 0
+    assert registry.value("engine_evaluations") == len(result.history)
+    # The byte counters agree with the result's own accounting.
+    assert registry.value("net_bytes_sent{scheme=full-sharing}") == result.total_bytes
+    assert (
+        registry.value("net_bytes_received{scheme=full-sharing}") == result.total_bytes
+    )
+    latency = registry.histogram("engine_round_latency_seconds")
+    assert latency.count == 3  # sync mode: one observation per global round
+
+
+def test_trace_records_cover_the_run(tmp_path):
+    task = make_toy_task(seed=5)
+    path = tmp_path / "run.trace.jsonl"
+    run_experiment(
+        task,
+        full_sharing_factory(),
+        _tiny_config(),
+        profiler=Profiler(),
+        trace=TraceEmitter(path, wall_clock=FixedClock()),
+    )
+    records = read_trace(path)
+    kinds = [record["kind"] for record in records]
+    assert kinds[0] == "manifest"
+    assert kinds[-1] == "run_end"
+    assert kinds.count("round") == 3
+    assert kinds.count("message") == 24
+    assert "evaluate" in kinds
+    manifest = records[0]
+    assert manifest["scheme"] == "full-sharing"
+    assert manifest["num_nodes"] == 4 and manifest["seed"] == 5
+    assert "python" in manifest["versions"] and "numpy" in manifest["versions"]
+    run_end = records[-1]
+    assert run_end["rounds_completed"] == 3
+    # Profiler seconds and RSS ride in the wall section, never as plain fields.
+    assert "phase_seconds" in run_end["wall"]
+    assert run_end["wall"]["peak_rss_bytes"] > 0
+    assert "phase_seconds" not in {k for r in records for k in r if k != "wall"}
+
+
+def test_stripped_trace_is_byte_stable_across_reruns(tmp_path):
+    documents = []
+    raw = []
+    for index, start in enumerate((10.0, 777777.0)):
+        task = make_toy_task(seed=5)
+        path = tmp_path / f"run{index}.trace.jsonl"
+        run_experiment(
+            task,
+            full_sharing_factory(),
+            _tiny_config(),
+            profiler=Profiler(),
+            trace=TraceEmitter(path, wall_clock=FixedClock(start=start)),
+        )
+        documents.append(strip_wall(path))
+        raw.append(path.read_bytes())
+    assert raw[0] != raw[1]  # the wall clocks genuinely differed
+    assert documents[0] == documents[1]
+
+
+def test_store_rows_byte_identical_with_and_without_telemetry(tmp_path):
+    bare_store = tmp_path / "bare.jsonl"
+    instrumented_store = tmp_path / "telemetry.jsonl"
+    run_sweep(_sweep(), ResultStore(bare_store))
+    run_sweep(
+        _sweep(),
+        ResultStore(instrumented_store),
+        profile=True,
+        metrics=MetricsRegistry(),
+        trace_dir=tmp_path / "traces",
+    )
+    assert bare_store.read_bytes() == instrumented_store.read_bytes()
+    # The telemetry itself still reached the caller's side channels.
+    assert list((tmp_path / "traces").glob("*.trace.jsonl"))
+
+
+def test_sweep_telemetry_is_identical_across_worker_counts(tmp_path):
+    registries = {}
+    trace_dirs = {}
+    for workers in (1, 2):
+        registry = MetricsRegistry()
+        trace_dir = tmp_path / f"traces-{workers}"
+        run_sweep(
+            _sweep(),
+            ResultStore(tmp_path / f"store-{workers}.jsonl"),
+            workers=workers,
+            metrics=registry,
+            trace_dir=trace_dir,
+        )
+        registries[workers] = registry
+        trace_dirs[workers] = trace_dir
+    assert registries[1].to_dict() == registries[2].to_dict()
+    files = {
+        workers: sorted(path.name for path in trace_dirs[workers].iterdir())
+        for workers in (1, 2)
+    }
+    assert files[1] == files[2] and len(files[1]) == 2
+    for name in files[1]:
+        assert strip_wall(trace_dirs[1] / name) == strip_wall(trace_dirs[2] / name)
+
+
+def test_checkpointing_run_counts_saves_in_the_registry(tmp_path):
+    registry = MetricsRegistry()
+    spec = ExperimentSpec("movielens", SchemeSpec("jwins"), overrides={**TINY, "seed": 1})
+    spec.run(
+        checkpoint_dir=tmp_path / "ckpts",
+        checkpoint_every=1,
+        metrics=registry,
+    )
+    assert registry.value("checkpoint_saves") >= 2  # one per round at cadence 1
+    assert registry.value("checkpoint_bytes_written") > 0
+    assert registry.value("engine_snapshots_captured") >= 2

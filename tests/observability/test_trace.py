@@ -1,0 +1,102 @@
+"""Unit tests for the JSONL trace emitter and its wall split."""
+
+from __future__ import annotations
+
+import json
+
+from repro.observability.trace import (
+    WALL_KEY,
+    TraceEmitter,
+    read_trace,
+    strip_wall,
+    summarize_trace,
+)
+
+
+class FixedClock:
+    """Injectable wall clock advancing by a fixed step per reading."""
+
+    def __init__(self, start: float = 1000.0, step: float = 1.0) -> None:
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def test_emitter_writes_sequenced_records_with_wall_section(tmp_path):
+    path = tmp_path / "run.trace.jsonl"
+    with TraceEmitter(path, wall_clock=FixedClock()) as trace:
+        trace.begin_run({"scheme": "jwins", "seed": 1})
+        trace.emit("round", {"round": 0, "now": 1.5})
+        trace.emit("round", {"round": 1, "now": 3.0}, wall={"extra": "x"})
+    records = read_trace(path)
+    assert [r["kind"] for r in records] == ["manifest", "round", "round"]
+    assert [r["seq"] for r in records] == [0, 1, 2]
+    assert records[0]["scheme"] == "jwins"
+    assert all(WALL_KEY in r and "unix_time" in r[WALL_KEY] for r in records)
+    assert records[2][WALL_KEY]["extra"] == "x"
+
+
+def test_emitter_creates_parent_directories(tmp_path):
+    path = tmp_path / "deep" / "nested" / "run.trace.jsonl"
+    with TraceEmitter(path) as trace:
+        trace.emit("round", {"round": 0})
+    assert path.exists()
+
+
+def test_lines_are_valid_sorted_key_json(tmp_path):
+    path = tmp_path / "run.trace.jsonl"
+    with TraceEmitter(path) as trace:
+        trace.emit("message", {"sender": 1, "receiver": 0, "bytes": 10})
+    (line,) = path.read_text(encoding="utf-8").splitlines()
+    record = json.loads(line)
+    assert json.dumps(record, sort_keys=True) == line
+
+
+def test_strip_wall_is_identical_across_different_clocks(tmp_path):
+    paths = []
+    for index, start in enumerate((100.0, 99999.0)):
+        path = tmp_path / f"run{index}.trace.jsonl"
+        with TraceEmitter(path, wall_clock=FixedClock(start=start)) as trace:
+            trace.begin_run({"scheme": "jwins", "seed": 1})
+            trace.emit("round", {"round": 0, "now": 1.5})
+        paths.append(path)
+    # Raw files differ (the timestamps moved) ...
+    assert paths[0].read_bytes() != paths[1].read_bytes()
+    # ... the stripped documents do not: the fifth determinism oracle.
+    assert strip_wall(paths[0]) == strip_wall(paths[1])
+    assert WALL_KEY not in strip_wall(paths[0])
+
+
+def test_strip_wall_of_empty_trace_is_empty_string(tmp_path):
+    path = tmp_path / "empty.trace.jsonl"
+    path.write_text("", encoding="utf-8")
+    assert strip_wall(path) == ""
+
+
+def test_summarize_groups_runs_at_manifest_boundaries(tmp_path):
+    path = tmp_path / "two-runs.trace.jsonl"
+    with TraceEmitter(path, wall_clock=FixedClock()) as trace:
+        for scheme in ("jwins", "full-sharing"):
+            trace.begin_run({"scheme": scheme, "seed": 1, "spec_hash": "a" * 64})
+            trace.emit("round", {"round": 0, "node": 0, "now": 1.0})
+            trace.emit("message", {"sender": 1, "receiver": 0, "bytes": 7, "now": 1.0})
+            trace.emit(
+                "run_end",
+                {"rounds_completed": 1, "total_bytes": 7.0},
+                wall={"peak_rss_bytes": 2 * 2**20},
+            )
+    text = summarize_trace(path)
+    assert "2 run(s)" in text
+    assert "scheme=jwins" in text and "scheme=full-sharing" in text
+    assert "spec=aaaaaaaaaaaa..." in text
+    assert "messages_received" in text
+    assert "peak_rss: 2.0 MiB" in text
+
+
+def test_summarize_empty_trace(tmp_path):
+    path = tmp_path / "empty.trace.jsonl"
+    path.write_text("", encoding="utf-8")
+    assert "is empty" in summarize_trace(path)

@@ -50,6 +50,25 @@ def test_mark_round_without_activity_adds_no_row():
     assert profiler.round_rows == []
 
 
+def test_flush_recovers_work_after_last_round_mark():
+    profiler = Profiler(clock=FakeClock())
+    with profiler.phase("train"):
+        pass
+    profiler.mark_round(0)
+    # The run's closing evaluation lands after the final round boundary; a
+    # flush must attribute it to a trailing row instead of dropping it.
+    with profiler.phase("evaluate"):
+        pass
+    profiler.flush(1)
+    assert profiler.round_rows == [
+        {"round": 0.0, "train": 1.0},
+        {"round": 1.0, "evaluate": 1.0},
+    ]
+    # Flushing again with nothing pending adds no empty row.
+    profiler.flush(2)
+    assert len(profiler.round_rows) == 2
+
+
 def _tiny_config(**overrides) -> ExperimentConfig:
     base = dict(
         num_nodes=4, degree=2, rounds=3, local_steps=1, batch_size=4,
@@ -107,7 +126,7 @@ def test_profiled_run_is_bit_identical_to_unprofiled():
     assert plain.simulated_time_seconds == profiled.simulated_time_seconds
     # only the wall-clock fields may differ
     plain_dict, profiled_dict = plain.to_dict(), profiled.to_dict()
-    for key in ("phase_seconds", "round_phase_seconds"):
+    for key in ("phase_seconds", "round_phase_seconds", "memory"):
         plain_dict.pop(key), profiled_dict.pop(key)
     assert plain_dict == profiled_dict
 
