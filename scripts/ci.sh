@@ -19,6 +19,11 @@
 #   checkpoint   SIGINT a 2-cell pool sweep mid-spec, resume it, and
 #                byte-compare the store against an uninterrupted run
 #                (the fourth determinism pillar), plus dry-run/compact smokes
+#   fuzz         fixed-seed 10-case scenario-fuzz smoke: every generated
+#                hostile schedule must pass the rerun, 1-vs-2-worker,
+#                interrupt-resume and strip_wall oracles (a failing case
+#                prints its JSON schedule for local replay), plus the
+#                injected-nondeterminism self-test
 #
 # Each stage prints its wall-clock time on success.
 set -euo pipefail
@@ -176,7 +181,19 @@ stage_checkpoint() {
       | grep -q "4 line(s) -> 2 row(s)"
 }
 
-ALL_STAGES=(lint analysis docs test bench perf smoke determinism checkpoint)
+stage_fuzz() {
+  # Property-test the determinism contract over random hostile schedules
+  # (overlapping outages, partitions, byzantine windows, rewiring).  The
+  # fixed seed keeps the smoke reproducible; a failure prints the minimal
+  # failing schedule as JSON replayable with `--replay`.
+  python -m repro.scenarios.fuzz --cases 10 --seed 0
+  # The alarm itself must ring: inject nondeterminism into the byzantine
+  # send path and require a caught, shrunken failure.
+  python -m repro.scenarios.fuzz --self-test --cases 1 --seed 0 >/dev/null
+  echo "fuzz gate: 10 hostile schedules passed all 4 oracles; self-test caught the injected bug"
+}
+
+ALL_STAGES=(lint analysis docs test bench perf smoke determinism checkpoint fuzz)
 
 run_stage() {
   local name="$1"

@@ -100,6 +100,10 @@ class SimulationSnapshot:
     profiler: dict[str, Any] | None = None
     #: ``ExperimentSpec.to_dict()`` when the run was orchestration-driven.
     spec: dict[str, Any] | None = None
+    #: Frozen models held by stale-replay Byzantine attackers:
+    #: ``[[node_id, encoded_params], ...]`` sorted by node id (empty when no
+    #: stale-replay window was open at capture time; absent in old snapshots).
+    byzantine: list[list[Any]] = field(default_factory=list)
     #: Snapshot schema version.
     version: int = SNAPSHOT_VERSION
 
@@ -274,6 +278,10 @@ def capture_snapshot(
             else encode_value(simulator.profiler.state_dict())
         ),
         spec=simulator.spec_payload,
+        byzantine=[
+            [int(node_id), encode_value(simulator._byzantine_stale[node_id])]
+            for node_id in sorted(simulator._byzantine_stale)
+        ],
     )
 
 
@@ -332,6 +340,9 @@ def restore_simulator(simulator: "Simulator", snapshot: SimulationSnapshot) -> N
     )
     simulator.weights = metropolis_hastings_weights(simulator.topology)
     simulator.meter.load_state_dict(decode_value(snapshot.meter))
+    simulator._byzantine_stale = {
+        int(node_id): decode_value(encoded) for node_id, encoded in snapshot.byzantine
+    }
     restored_result = ExperimentResult.from_dict(snapshot.result)
     # The live run's identity (scheme display name, execution) wins over the
     # snapshot's so a fork relabels cleanly; the numbers are what matter.

@@ -516,14 +516,24 @@ def _parse_scale(entries: Sequence[str] | None, flag: str = "--scale") -> dict |
 def _resolve_scenario(value: str, num_nodes: int, rounds: int) -> ScenarioSchedule:
     """Turn a ``--scenario`` argument into a schedule, exiting cleanly on errors.
 
-    Preset names win (so a stray local file cannot shadow ``churn``); any
-    other value ending in ``.json`` or naming an existing file is parsed as a
-    :meth:`~repro.scenarios.ScenarioSchedule.to_dict` document.
+    Preset names win (so a stray local file cannot shadow ``churn``); a value
+    ending in ``.jsonl`` is compiled as an availability/latency trace via
+    :meth:`~repro.scenarios.ScenarioSchedule.from_trace` (clipped to the
+    deployment); any other value ending in ``.json`` or naming an existing
+    file is parsed as a :meth:`~repro.scenarios.ScenarioSchedule.to_dict`
+    document.
     """
 
     path = Path(value)
     if value.lower() in SCENARIO_PRESETS:
         return get_scenario(value, num_nodes=num_nodes, rounds=rounds)
+    if value.endswith(".jsonl"):
+        try:
+            return ScenarioSchedule.from_trace(
+                path, name=path.stem, num_nodes=num_nodes, rounds=rounds
+            )
+        except ConfigurationError as error:
+            raise SystemExit(f"invalid scenario trace {value!r}: {error}")
     if value.endswith(".json") or path.exists():
         try:
             data = json.loads(path.read_text(encoding="utf-8"))
@@ -533,7 +543,7 @@ def _resolve_scenario(value: str, num_nodes: int, rounds: int) -> ScenarioSchedu
             raise SystemExit(f"scenario file {value!r} is not valid JSON: {error}")
         try:
             schedule = ScenarioSchedule.from_dict(data)
-            schedule.validate_for(num_nodes)
+            schedule.validate_for(num_nodes, rounds=rounds)
         except ConfigurationError as error:
             raise SystemExit(f"invalid scenario file {value!r}: {error}")
         return schedule

@@ -74,7 +74,11 @@ class ExperimentSpec:
         :class:`~repro.simulation.ExperimentConfig` field overrides applied on
         top of the workload's default configuration (JSON values only; the
         tuple-typed fields and a nested ``time_model`` dict are coerced back
-        when the config is built).
+        when the config is built).  A ``"scenario"`` override travels as the
+        schedule's exact ``to_dict`` form — including Byzantine windows and
+        trace-compiled outages — so hostile environments are sweepable axes
+        with stable content hashes, which is what both the determinism gate
+        and the scenario fuzzer (:mod:`repro.scenarios.fuzz`) rely on.
     task_seed:
         Seed for the dataset/task construction.  ``None`` (the default) ties
         it to the experiment seed, matching ``run_experiment`` call sites that

@@ -2,9 +2,10 @@
 
 The JWINS paper only varies one environmental knob (a per-round re-randomized
 topology, Section IV-D); real decentralized deployments also see node churn,
-network partitions and stragglers.  This package expresses all of those as one
-serializable :class:`~repro.scenarios.schedule.ScenarioSchedule` consumed by
-both execution modes of the simulation engine::
+network partitions, stragglers and adversarial senders.  This package
+expresses all of those as one serializable
+:class:`~repro.scenarios.schedule.ScenarioSchedule` consumed by both execution
+modes of the simulation engine::
 
     from repro.scenarios import get_scenario
     from repro.simulation import ExperimentConfig, run_experiment
@@ -15,12 +16,22 @@ both execution modes of the simulation engine::
     print(result.scenario_rounds[2]["active_nodes"])  # who was up in round 2
 
 See :mod:`repro.scenarios.presets` for the named presets behind the CLI's
-``--scenario`` flag and :mod:`repro.topology.policy` for the topology
-generation/rewiring policies a schedule embeds.
+``--scenario`` flag, :mod:`repro.topology.policy` for the topology
+generation/rewiring policies a schedule embeds, and
+:mod:`repro.scenarios.fuzz` for the seeded schedule fuzzer that property-tests
+the determinism contract over random hostile schedules.
 """
 
-from repro.scenarios.presets import SCENARIO_PRESETS, describe_scenarios, get_scenario
+from repro.scenarios.presets import (
+    BUNDLED_TRACES,
+    SCENARIO_PRESETS,
+    bundled_trace_path,
+    describe_scenarios,
+    get_scenario,
+)
 from repro.scenarios.schedule import (
+    BYZANTINE_MODES,
+    ByzantineWindow,
     NodeOutage,
     PartitionWindow,
     ScenarioSchedule,
@@ -29,12 +40,16 @@ from repro.scenarios.schedule import (
 )
 
 __all__ = [
+    "BUNDLED_TRACES",
+    "BYZANTINE_MODES",
+    "ByzantineWindow",
     "NodeOutage",
     "PartitionWindow",
     "SCENARIO_PRESETS",
     "ScenarioSchedule",
     "ScenarioState",
     "StragglerWindow",
+    "bundled_trace_path",
     "describe_scenarios",
     "get_scenario",
 ]

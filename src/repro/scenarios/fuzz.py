@@ -1,0 +1,643 @@
+"""Seeded scenario fuzzer: the determinism contract as a property test.
+
+The five determinism oracles (seed pinning, sync-vs-seed, serial-vs-pool,
+interrupt-resume, wall-stripped traces) were historically pinned on two
+hand-written sweep cells.  This module turns four of them into a property
+over a *distribution* of hostile schedules: a seeded generator produces
+random well-formed :class:`~repro.scenarios.schedule.ScenarioSchedule`
+instances (overlapping outages, nested partitions, Byzantine windows,
+straggler windows, rewiring policies, boundary rounds) and every generated
+schedule must survive
+
+- ``rerun``    — executing the same spec twice yields byte-identical results,
+- ``workers``  — a 2-cell sweep stores byte-identical JSONL on 1 and 2 workers,
+- ``resume``   — interrupt mid-run + resume equals the uninterrupted run,
+- ``trace``    — wall-stripped structured traces are byte-identical across reruns.
+
+On failure the schedule is *shrunk* (events dropped, windows truncated, the
+topology policy simplified, rounds reduced) to a minimal still-failing case
+and printed as reproducible JSON, replayable with ``--replay``.
+
+Run it directly::
+
+    python -m repro.scenarios.fuzz --cases 25 --seed 0
+
+``--self-test`` deliberately installs a nondeterministic Byzantine send path
+(:func:`install_chaos`) and asserts the fuzzer catches and shrinks it — a
+test that the alarm itself rings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import sys
+import tempfile
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping
+
+import numpy as np
+
+from repro.checkpoint.snapshot import SimulationSnapshot
+from repro.exceptions import ExperimentPaused
+from repro.observability.trace import TraceEmitter, strip_wall
+from repro.orchestration.pool import run_sweep
+from repro.orchestration.spec import ExperimentSpec
+from repro.orchestration.store import ResultStore
+from repro.scenarios.schedule import (
+    BYZANTINE_MODES,
+    ByzantineWindow,
+    NodeOutage,
+    PartitionWindow,
+    ScenarioSchedule,
+    StragglerWindow,
+)
+from repro.simulation.engine import Simulator
+from repro.simulation.runner import resume_experiment
+from repro.topology.policy import GeneratorPolicy
+from repro.utils.rng import derive_rng
+
+__all__ = [
+    "ORACLES",
+    "FuzzCase",
+    "generate_case",
+    "install_chaos",
+    "main",
+    "run_case",
+    "shrink_case",
+]
+
+#: Oracle names, in execution order (cheapest first).
+ORACLES = ("rerun", "workers", "resume", "trace")
+
+#: Default workload/scheme for fuzz runs — the cheapest registered workload.
+DEFAULT_WORKLOAD = "movielens"
+DEFAULT_SCHEME = "jwins"
+
+#: Topology generators safe at fuzz scale (4+ nodes, degree 2).
+_FUZZ_GENERATORS = ("random-regular", "ring", "fully-connected", "small-world")
+
+
+# -- case model --------------------------------------------------------------------
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated property-test case: a schedule plus its run parameters."""
+
+    index: int
+    num_nodes: int
+    rounds: int
+    execution: str
+    drop_probability: float
+    run_seed: int
+    schedule: ScenarioSchedule
+
+    def __post_init__(self) -> None:
+        schedule = self.schedule
+        if isinstance(schedule, Mapping):
+            object.__setattr__(self, "schedule", ScenarioSchedule.from_dict(schedule))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation; exact inverse of :meth:`from_dict`."""
+
+        return {
+            "index": int(self.index),
+            "num_nodes": int(self.num_nodes),
+            "rounds": int(self.rounds),
+            "execution": self.execution,
+            "drop_probability": float(self.drop_probability),
+            "run_seed": int(self.run_seed),
+            "schedule": self.schedule.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FuzzCase":
+        """Rebuild a case from :meth:`to_dict` output (for ``--replay``)."""
+
+        return cls(
+            index=int(data["index"]),
+            num_nodes=int(data["num_nodes"]),
+            rounds=int(data["rounds"]),
+            execution=str(data["execution"]),
+            drop_probability=float(data["drop_probability"]),
+            run_seed=int(data["run_seed"]),
+            schedule=ScenarioSchedule.from_dict(data["schedule"]),
+        )
+
+    def spec(self, workload: str, scheme: str, seed_offset: int = 0) -> ExperimentSpec:
+        """The orchestration cell this case executes as."""
+
+        overrides: dict[str, Any] = {
+            "num_nodes": self.num_nodes,
+            "degree": 2,
+            "rounds": self.rounds,
+            "local_steps": 1,
+            "batch_size": 4,
+            "eval_every": 2,
+            "eval_test_samples": 32,
+            "seed": self.run_seed + seed_offset,
+            "execution": self.execution,
+            "message_drop_probability": self.drop_probability,
+            "scenario": self.schedule.to_dict(),
+        }
+        if self.execution == "async":
+            overrides["compute_speed_range"] = [1.0, 2.0]
+            overrides["link_latency_jitter_seconds"] = 0.01
+        return ExperimentSpec(workload=workload, scheme=scheme, overrides=overrides)
+
+    @property
+    def summary(self) -> str:
+        """One-line shape description for progress output."""
+
+        schedule = self.schedule
+        return (
+            f"nodes={self.num_nodes} rounds={self.rounds} exec={self.execution} "
+            f"drop={self.drop_probability:g} "
+            f"outages={len(schedule.outages)} partitions={len(schedule.partitions)} "
+            f"stragglers={len(schedule.stragglers)} byzantine={len(schedule.byzantine)} "
+            f"rewire={schedule.topology.rewire_every}"
+        )
+
+
+# -- generation --------------------------------------------------------------------
+def _window(rng: np.random.Generator, rounds: int) -> tuple[int, int]:
+    """A well-formed window: always opens before ``rounds``, boundary-biased."""
+
+    start = 0 if rng.random() < 0.3 else int(rng.integers(0, rounds))
+    if rng.random() < 0.25:
+        end = rounds  # boundary: the window runs to the very last round
+    else:
+        end = start + 1 + int(rng.integers(0, 3))
+    return start, max(start + 1, end)
+
+
+def _node_subset(rng: np.random.Generator, num_nodes: int, allow_all: bool) -> tuple[int, ...]:
+    """A non-empty node subset (never every node unless ``allow_all``)."""
+
+    upper = num_nodes if allow_all else num_nodes - 1
+    size = 1 + int(rng.integers(0, upper))
+    chosen = rng.choice(num_nodes, size=size, replace=False)
+    return tuple(sorted(int(node) for node in chosen))
+
+
+def generate_schedule(
+    rng: np.random.Generator,
+    num_nodes: int,
+    rounds: int,
+    name: str = "fuzz",
+    ensure_byzantine: bool = False,
+) -> ScenarioSchedule:
+    """One random well-formed schedule over ``num_nodes`` x ``rounds``.
+
+    Node 0 is kept permanently online so no combination of overlapping
+    outages can empty a round (``state_at`` rejects rounds with zero active
+    nodes); everything else — overlap, nesting, permanent departures, windows
+    running past the end of the run — is fair game.
+    """
+
+    generator = str(rng.choice(_FUZZ_GENERATORS))
+    params: tuple[tuple[str, Any], ...] = ()
+    if generator == "small-world":
+        params = (("beta", float(rng.choice([0.1, 0.2, 0.5]))),)
+    topology = GeneratorPolicy(
+        generator=generator,
+        rewire_every=int(rng.choice([0, 0, 0, 1, 2, 3])),
+        params=params,
+    )
+
+    outages = []
+    for _ in range(int(rng.integers(0, 4))):
+        start, end = _window(rng, rounds)
+        outages.append(
+            NodeOutage(
+                node=int(rng.integers(1, num_nodes)),  # node 0 never goes down
+                start_round=start,
+                end_round=None if rng.random() < 0.1 else end,
+            )
+        )
+
+    partitions = []
+    for _ in range(int(rng.integers(0, 3))):
+        start, end = _window(rng, rounds)
+        order = [int(node) for node in rng.permutation(num_nodes)]
+        cut = 1 + int(rng.integers(0, num_nodes - 1))
+        groups: tuple[tuple[int, ...], ...]
+        if num_nodes - cut >= 2 and rng.random() < 0.3:
+            # Leave the tail out of every group: the implicit remainder group.
+            second = cut + 1 + int(rng.integers(0, num_nodes - cut - 1))
+            groups = (tuple(order[:cut]), tuple(order[cut:second]))
+        else:
+            groups = (tuple(order[:cut]), tuple(order[cut:]))
+        partitions.append(
+            PartitionWindow(start_round=start, end_round=end, groups=groups)
+        )
+
+    stragglers = []
+    for _ in range(int(rng.integers(0, 3))):
+        start, end = _window(rng, rounds)
+        stragglers.append(
+            StragglerWindow(
+                start_round=start,
+                end_round=end,
+                nodes=_node_subset(rng, num_nodes, allow_all=True),
+                slowdown=float(1.0 + rng.integers(1, 9) / 2.0),
+            )
+        )
+
+    byzantine = []
+    for _ in range(int(rng.integers(0, 3))):
+        start, end = _window(rng, rounds)
+        byzantine.append(
+            ByzantineWindow(
+                start_round=start,
+                end_round=end,
+                nodes=_node_subset(rng, num_nodes, allow_all=False),
+                mode=str(rng.choice(BYZANTINE_MODES)),
+            )
+        )
+    if ensure_byzantine and not byzantine:
+        byzantine.append(
+            ByzantineWindow(
+                start_round=0,
+                end_round=rounds,
+                nodes=(num_nodes - 1,),
+                mode="random-gradient",
+            )
+        )
+
+    return ScenarioSchedule(
+        name=name,
+        topology=topology,
+        outages=tuple(outages),
+        partitions=tuple(partitions),
+        stragglers=tuple(stragglers),
+        byzantine=tuple(byzantine),
+    )
+
+
+def generate_case(seed: int, index: int, ensure_byzantine: bool = False) -> FuzzCase:
+    """Case ``index`` of the fuzz run seeded with ``seed`` (pure function)."""
+
+    rng = derive_rng(seed, "scenario-fuzz", index)
+    num_nodes = int(rng.integers(4, 7))
+    rounds = int(rng.integers(3, 7))
+    return FuzzCase(
+        index=index,
+        num_nodes=num_nodes,
+        rounds=rounds,
+        execution="sync" if rng.random() < 0.5 else "async",
+        drop_probability=float(rng.choice([0.0, 0.0, 0.15])),
+        run_seed=int(rng.integers(1, 2**16)),
+        schedule=generate_schedule(
+            rng, num_nodes, rounds, name=f"fuzz-{index}", ensure_byzantine=ensure_byzantine
+        ),
+    )
+
+
+# -- oracles -----------------------------------------------------------------------
+def _result_json(spec: ExperimentSpec, trace: TraceEmitter | None = None) -> str:
+    return json.dumps(spec.run(trace=trace).to_dict(), sort_keys=True)
+
+
+def _oracle_rerun(case: FuzzCase, workload: str, scheme: str) -> str | None:
+    spec = case.spec(workload, scheme)
+    if _result_json(spec) != _result_json(spec):
+        return "re-running the identical spec produced a different result"
+    return None
+
+
+def _oracle_workers(case: FuzzCase, workload: str, scheme: str) -> str | None:
+    # Two distinct cells (consecutive seeds), because a single pending cell
+    # executes in-process regardless of the worker count.
+    specs = [case.spec(workload, scheme), case.spec(workload, scheme, seed_offset=1)]
+    with tempfile.TemporaryDirectory() as tmp:
+        serial, pooled = Path(tmp) / "serial.jsonl", Path(tmp) / "pool.jsonl"
+        run_sweep(specs, ResultStore(serial), workers=1)
+        run_sweep(specs, ResultStore(pooled), workers=2)
+        if serial.read_bytes() != pooled.read_bytes():
+            return "1-worker and 2-worker sweep stores are not byte-identical"
+    return None
+
+
+def _oracle_resume(case: FuzzCase, workload: str, scheme: str) -> str | None:
+    spec = case.spec(workload, scheme)
+    uninterrupted = _result_json(spec)
+
+    stop_after = max(1, case.rounds // 2)
+    task, factory, config, _ = spec.build()
+    simulator = Simulator(
+        task, factory, config, scheme_name=spec.scheme.label, spec=spec.to_dict()
+    )
+    simulator.on_round_end(
+        lambda round_index, node_id, now: (
+            simulator.request_checkpoint_stop()
+            if simulator.result.rounds_completed >= stop_after
+            else None
+        )
+    )
+    try:
+        simulator.run()
+        return f"requested a pause at round {stop_after} but the run never stopped"
+    except ExperimentPaused as paused:
+        snapshot = paused.snapshot
+    # Force the snapshot through its JSON form: what resumes in practice is
+    # the persisted file, not the in-memory object.
+    snapshot = SimulationSnapshot.from_dict(
+        json.loads(json.dumps(snapshot.to_dict(), sort_keys=True))
+    )
+    task, factory, config, _ = spec.build()
+    resumed = resume_experiment(
+        task,
+        factory,
+        config,
+        snapshot,
+        scheme_name=spec.scheme.label,
+        spec=spec.to_dict(),
+    )
+    if json.dumps(resumed.to_dict(), sort_keys=True) != uninterrupted:
+        return (
+            f"interrupt at round {snapshot.rounds_completed} + resume differs "
+            "from the uninterrupted run"
+        )
+    return None
+
+
+def _oracle_trace(case: FuzzCase, workload: str, scheme: str) -> str | None:
+    spec = case.spec(workload, scheme)
+    stripped: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for attempt in range(2):
+            path = Path(tmp) / f"run-{attempt}.trace.jsonl"
+            emitter = TraceEmitter(path)
+            try:
+                spec.run(trace=emitter)
+            finally:
+                emitter.close()
+            stripped.append(strip_wall(path))
+    if stripped[0] != stripped[1]:
+        return "wall-stripped traces differ between identical runs"
+    return None
+
+
+_ORACLE_FUNCS: dict[str, Callable[[FuzzCase, str, str], str | None]] = {
+    "rerun": _oracle_rerun,
+    "workers": _oracle_workers,
+    "resume": _oracle_resume,
+    "trace": _oracle_trace,
+}
+
+
+def run_case(
+    case: FuzzCase,
+    workload: str = DEFAULT_WORKLOAD,
+    scheme: str = DEFAULT_SCHEME,
+    oracles: tuple[str, ...] = ORACLES,
+) -> tuple[str, str] | None:
+    """Run ``case`` through the oracles; ``(oracle, detail)`` on first failure."""
+
+    for name in oracles:
+        detail = _ORACLE_FUNCS[name](case, workload, scheme)
+        if detail is not None:
+            return name, detail
+    return None
+
+
+# -- shrinking ---------------------------------------------------------------------
+def _without_index(values: tuple[Any, ...], index: int) -> tuple[Any, ...]:
+    return values[:index] + values[index + 1 :]
+
+
+def _truncated(window: Any) -> Any:
+    """The same window reduced to a single round."""
+
+    return replace(window, end_round=window.start_round + 1)
+
+
+def _clip_schedule(schedule: ScenarioSchedule, rounds: int) -> ScenarioSchedule:
+    """Drop every window that could no longer open in a ``rounds``-round run."""
+
+    return replace(
+        schedule,
+        outages=tuple(o for o in schedule.outages if o.start_round < rounds),
+        partitions=tuple(p for p in schedule.partitions if p.start_round < rounds),
+        stragglers=tuple(s for s in schedule.stragglers if s.start_round < rounds),
+        byzantine=tuple(b for b in schedule.byzantine if b.start_round < rounds),
+    )
+
+
+def _shrink_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Strictly-smaller variants of ``case``, most aggressive first."""
+
+    schedule = case.schedule
+    for field_name in ("byzantine", "stragglers", "partitions", "outages"):
+        events = getattr(schedule, field_name)
+        for index in range(len(events)):
+            yield replace(
+                case,
+                schedule=replace(
+                    schedule, **{field_name: _without_index(events, index)}
+                ),
+            )
+    if schedule.topology != GeneratorPolicy():
+        yield replace(case, schedule=replace(schedule, topology=GeneratorPolicy()))
+    if case.drop_probability > 0.0:
+        yield replace(case, drop_probability=0.0)
+    if case.rounds > 2:
+        yield replace(
+            case,
+            rounds=case.rounds - 1,
+            schedule=_clip_schedule(schedule, case.rounds - 1),
+        )
+    for field_name in ("byzantine", "stragglers", "partitions", "outages"):
+        events = getattr(schedule, field_name)
+        for index, window in enumerate(events):
+            if window.end_round is not None and window.end_round > window.start_round + 1:
+                shrunk = _without_index(events, index) + (_truncated(window),)
+                yield replace(case, schedule=replace(schedule, **{field_name: shrunk}))
+
+
+def shrink_case(
+    case: FuzzCase, still_fails: Callable[[FuzzCase], bool], max_steps: int = 100
+) -> FuzzCase:
+    """Greedily minimize ``case`` while ``still_fails`` holds.
+
+    Classic delta-debugging descent: at each step take the first smaller
+    variant that still reproduces the failure, stop at a fixpoint (or after
+    ``max_steps`` accepted reductions).
+    """
+
+    current = case
+    for _ in range(max_steps):
+        for candidate in _shrink_candidates(current):
+            if still_fails(candidate):
+                current = candidate
+                break
+        else:
+            return current
+    return current
+
+
+# -- chaos (self-test) -------------------------------------------------------------
+def install_chaos() -> Callable[[], None]:
+    """Deliberately break determinism in the Byzantine send path.
+
+    Wraps :meth:`~repro.simulation.engine.Simulator.apply_byzantine` so every
+    corrupted model is additionally perturbed by a process-global counter —
+    run-order-dependent state of exactly the kind the determinism rules ban.
+    Two executions of the same hostile schedule then diverge, which the
+    ``rerun`` oracle must catch.  Returns an uninstaller; only ``--self-test``
+    ever calls this.
+    """
+
+    original = Simulator.apply_byzantine
+    counter = itertools.count(1)
+
+    def chaotic(self, node_id, round_index, state, params_start, params_trained):
+        corrupted = original(
+            self, node_id, round_index, state, params_start, params_trained
+        )
+        if state.byzantine_mode(node_id) is not None:
+            corrupted = corrupted + 1e-3 * next(counter)
+        return corrupted
+
+    Simulator.apply_byzantine = chaotic
+
+    def uninstall() -> None:
+        Simulator.apply_byzantine = original
+
+    return uninstall
+
+
+# -- runner ------------------------------------------------------------------------
+def _failure_report(
+    seed: int, case: FuzzCase, oracle: str, detail: str, workload: str, scheme: str
+) -> dict[str, Any]:
+    return {
+        "fuzzer": "repro.scenarios.fuzz",
+        "seed": seed,
+        "workload": workload,
+        "scheme": scheme,
+        "oracle": oracle,
+        "detail": detail,
+        "case": case.to_dict(),
+        "replay": "python -m repro.scenarios.fuzz --replay <this file>",
+    }
+
+
+def _fuzz(args: argparse.Namespace) -> int:
+    oracles = tuple(args.oracles.split(","))
+    unknown = sorted(set(oracles) - set(ORACLES))
+    if unknown:
+        print(f"unknown oracle(s): {', '.join(unknown)}; available: {', '.join(ORACLES)}")
+        return 2
+    for index in range(args.cases):
+        case = generate_case(args.seed, index, ensure_byzantine=args.self_test)
+        failure = run_case(case, args.workload, args.scheme, oracles)
+        if failure is None:
+            print(f"case {index:3d}: ok       {case.summary}")
+            continue
+        oracle, detail = failure
+
+        def still_fails(candidate: FuzzCase) -> bool:
+            return _ORACLE_FUNCS[oracle](candidate, args.workload, args.scheme) is not None
+
+        shrunk = shrink_case(case, still_fails)
+        report = _failure_report(args.seed, shrunk, oracle, detail, args.workload, args.scheme)
+        print(f"case {index:3d}: FAILED   {case.summary}")
+        print(f"oracle {oracle!r}: {detail}")
+        print("minimal failing case (JSON, replayable with --replay):")
+        print(json.dumps(report, indent=2, sort_keys=True))
+        if args.report:
+            Path(args.report).write_text(
+                json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            )
+            print(f"report written to {args.report}")
+        return 1
+    print(f"fuzz: {args.cases} case(s) passed {len(oracles)} oracle(s) (seed {args.seed})")
+    return 0
+
+
+def _self_test(args: argparse.Namespace) -> int:
+    """Prove the alarm rings: inject nondeterminism, demand a shrunk failure."""
+
+    uninstall = install_chaos()
+    try:
+        for index in range(args.cases):
+            case = generate_case(args.seed, index, ensure_byzantine=True)
+
+            def still_fails(candidate: FuzzCase) -> bool:
+                return _oracle_rerun(candidate, args.workload, args.scheme) is not None
+
+            detail = _oracle_rerun(case, args.workload, args.scheme)
+            if detail is None:
+                print(f"self-test case {index}: injected nondeterminism NOT caught")
+                return 1
+            shrunk = shrink_case(case, still_fails)
+            if not shrunk.schedule.byzantine:
+                print("self-test: shrinking removed the byzantine window the bug needs")
+                return 1
+            report = _failure_report(
+                args.seed, shrunk, "rerun", detail, args.workload, args.scheme
+            )
+            print(f"self-test case {index}: caught and shrunk to:")
+            print(json.dumps(report, indent=2, sort_keys=True))
+    finally:
+        uninstall()
+    print(f"self-test: injected nondeterminism caught on all {args.cases} case(s)")
+    return 0
+
+
+def _replay(args: argparse.Namespace) -> int:
+    report = json.loads(Path(args.replay).read_text(encoding="utf-8"))
+    case = FuzzCase.from_dict(report["case"])
+    workload = report.get("workload", args.workload)
+    scheme = report.get("scheme", args.scheme)
+    print(f"replaying case: {case.summary}")
+    failure = run_case(case, workload, scheme)
+    if failure is None:
+        print("replay: every oracle passed (the failure did not reproduce)")
+        return 0
+    oracle, detail = failure
+    print(f"replay: oracle {oracle!r} still fails: {detail}")
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro.scenarios.fuzz``."""
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios.fuzz",
+        description="Property-test the determinism contract over random hostile schedules.",
+    )
+    parser.add_argument("--cases", type=int, default=25, help="number of generated cases")
+    parser.add_argument("--seed", type=int, default=0, help="fuzz generator seed")
+    parser.add_argument("--workload", default=DEFAULT_WORKLOAD)
+    parser.add_argument("--scheme", default=DEFAULT_SCHEME)
+    parser.add_argument(
+        "--oracles",
+        default=",".join(ORACLES),
+        help=f"comma-separated subset of: {', '.join(ORACLES)}",
+    )
+    parser.add_argument(
+        "--report", default=None, help="also write a failing case's JSON to this path"
+    )
+    parser.add_argument(
+        "--replay", default=None, help="re-run the failing case stored in this JSON file"
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="inject nondeterminism into the byzantine send path and require a catch",
+    )
+    args = parser.parse_args(argv)
+
+    if args.replay:
+        return _replay(args)
+    if args.self_test:
+        return _self_test(args)
+    return _fuzz(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,10 +9,12 @@ validates the result against the deployment size.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable
 
 from repro.exceptions import ConfigurationError
 from repro.scenarios.schedule import (
+    ByzantineWindow,
     NodeOutage,
     PartitionWindow,
     ScenarioSchedule,
@@ -20,7 +22,29 @@ from repro.scenarios.schedule import (
 )
 from repro.topology.policy import GeneratorPolicy
 
-__all__ = ["SCENARIO_PRESETS", "describe_scenarios", "get_scenario"]
+__all__ = [
+    "BUNDLED_TRACES",
+    "SCENARIO_PRESETS",
+    "bundled_trace_path",
+    "describe_scenarios",
+    "get_scenario",
+]
+
+#: Name -> bundled example trace file (JSONL, see ScenarioSchedule.from_trace).
+BUNDLED_TRACES = {
+    "diurnal": "diurnal.jsonl",
+    "mobile": "mobile.jsonl",
+}
+
+
+def bundled_trace_path(name: str) -> Path:
+    """The on-disk path of a bundled example trace (``diurnal`` or ``mobile``)."""
+
+    if name not in BUNDLED_TRACES:
+        raise ConfigurationError(
+            f"unknown bundled trace {name!r}; available: {', '.join(BUNDLED_TRACES)}"
+        )
+    return Path(__file__).resolve().parent / "traces" / BUNDLED_TRACES[name]
 
 
 def _static(num_nodes: int, rounds: int) -> ScenarioSchedule:
@@ -108,6 +132,34 @@ def _churn_partition(num_nodes: int, rounds: int) -> ScenarioSchedule:
     )
 
 
+def _byzantine(num_nodes: int, rounds: int) -> ScenarioSchedule:
+    """The last quarter of the nodes sign-flip for the middle third of the run."""
+
+    attackers = tuple(range(num_nodes - max(1, num_nodes // 4), num_nodes))
+    start = max(1, rounds // 3)
+    end = max(start + 1, (2 * rounds) // 3)
+    return ScenarioSchedule(
+        name="byzantine",
+        byzantine=(
+            ByzantineWindow(
+                start_round=start, end_round=end, nodes=attackers, mode="sign-flip"
+            ),
+        ),
+    )
+
+
+def _trace_preset(trace: str) -> Callable[[int, int], ScenarioSchedule]:
+    def build(num_nodes: int, rounds: int) -> ScenarioSchedule:
+        return ScenarioSchedule.from_trace(
+            bundled_trace_path(trace),
+            name=f"trace-{trace}",
+            num_nodes=num_nodes,
+            rounds=rounds,
+        )
+
+    return build
+
+
 #: Preset name -> (description, builder(num_nodes, rounds)).
 SCENARIO_PRESETS: dict[
     str, tuple[str, Callable[[int, int], ScenarioSchedule]]
@@ -120,6 +172,9 @@ SCENARIO_PRESETS: dict[
     "partition": ("network splits into halves for the middle third of the run", _partition),
     "stragglers": ("a quarter of the nodes compute 4x slower mid-run", _stragglers),
     "churn-partition": ("churn outages plus the mid-run half/half partition", _churn_partition),
+    "byzantine": ("a quarter of the nodes sign-flip their updates mid-run", _byzantine),
+    "trace-diurnal": ("bundled diurnal availability trace (staggered night outages)", _trace_preset("diurnal")),
+    "trace-mobile": ("bundled mobile latency trace (handsets throttling off-charger)", _trace_preset("mobile")),
 }
 
 
@@ -132,7 +187,7 @@ def get_scenario(name: str, num_nodes: int, rounds: int) -> ScenarioSchedule:
             f"unknown scenario {name!r}; available: {', '.join(SCENARIO_PRESETS)}"
         )
     schedule = SCENARIO_PRESETS[key][1](num_nodes, rounds)
-    schedule.validate_for(num_nodes)
+    schedule.validate_for(num_nodes, rounds=rounds)
     return schedule
 
 

@@ -1,16 +1,18 @@
-"""Declarative scenario schedules: churn, partitions, stragglers, rewiring.
+"""Declarative scenario schedules: churn, partitions, stragglers, adversaries.
 
 A :class:`ScenarioSchedule` describes *how the deployment's environment
 evolves over rounds*, independently of any execution mode: which nodes are
 offline (churn, as :class:`NodeOutage` windows), which groups of nodes are
 temporarily cut off from each other (:class:`PartitionWindow`), which nodes
-run slower for a while (:class:`StragglerWindow`) and how the communication
-graph is generated and rewired (a
+run slower for a while (:class:`StragglerWindow`), which nodes send
+adversarially corrupted models (:class:`ByzantineWindow`) and how the
+communication graph is generated and rewired (a
 :class:`~repro.topology.policy.GeneratorPolicy`).
 
 The schedule is *pure data*: :meth:`ScenarioSchedule.state_at` maps a round
 index to an immutable :class:`ScenarioState` (active nodes, per-node partition
-ids, per-node slowdowns), and both execution modes consume that state —
+ids, per-node slowdowns, per-node Byzantine modes), and both execution modes
+consume that state —
 :class:`~repro.simulation.engine.SynchronousMode` per barrier round,
 :class:`~repro.simulation.engine.AsynchronousMode` per node-local round.
 Because the state is a pure function of the round index, a scenario run is as
@@ -24,19 +26,26 @@ content-addressed result store.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Iterable, Mapping
 
 from repro.exceptions import ConfigurationError
 from repro.topology.policy import GeneratorPolicy
 
 __all__ = [
+    "BYZANTINE_MODES",
+    "ByzantineWindow",
     "NodeOutage",
     "PartitionWindow",
     "ScenarioSchedule",
     "ScenarioState",
     "StragglerWindow",
 ]
+
+#: Supported Byzantine sender behaviors (see :class:`ByzantineWindow`).
+BYZANTINE_MODES = ("random-gradient", "sign-flip", "stale-replay")
 
 
 def _check_window(name: str, start_round: int, end_round: int | None) -> None:
@@ -182,6 +191,66 @@ class StragglerWindow:
 
 
 @dataclass(frozen=True)
+class ByzantineWindow:
+    """``nodes`` send adversarial models during ``[start_round, end_round)``.
+
+    The corruption happens at *send time*, after local training and before the
+    compression scheme encodes the payload, so every scheme faces the same
+    attack (the adversary also keeps the corrupted model locally — a fully
+    Byzantine participant, not just a noisy link).  ``mode`` picks the attack:
+
+    - ``"random-gradient"``: replace the local update with seeded Gaussian
+      noise of the same RMS magnitude (an unhelpful but plausible-looking
+      sender).
+    - ``"sign-flip"``: send the update with its sign inverted (actively
+      pushes the average away from the honest direction).
+    - ``"stale-replay"``: freeze the first in-window model and resend it every
+      round (a replay attacker / stuck client).
+    """
+
+    start_round: int
+    end_round: int
+    nodes: tuple[int, ...]
+    mode: str
+
+    def __post_init__(self) -> None:
+        _check_window("byzantine window", self.start_round, self.end_round)
+        nodes = tuple(sorted(int(node) for node in self.nodes))
+        if not nodes:
+            raise ConfigurationError("a byzantine window needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ConfigurationError("byzantine nodes must be unique")
+        if nodes[0] < 0:
+            raise ConfigurationError("byzantine node ids must be non-negative")
+        if self.mode not in BYZANTINE_MODES:
+            raise ConfigurationError(
+                f"unknown byzantine mode {self.mode!r}; "
+                f"available: {', '.join(BYZANTINE_MODES)}"
+            )
+        object.__setattr__(self, "nodes", nodes)
+
+    def covers(self, round_index: int) -> bool:
+        return self.start_round <= round_index < self.end_round
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "start_round": int(self.start_round),
+            "end_round": int(self.end_round),
+            "nodes": list(self.nodes),
+            "mode": self.mode,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ByzantineWindow":
+        return cls(
+            start_round=int(data["start_round"]),
+            end_round=int(data["end_round"]),
+            nodes=tuple(data["nodes"]),
+            mode=str(data["mode"]),
+        )
+
+
+@dataclass(frozen=True)
 class ScenarioState:
     """The environment one round sees: who is up, who talks to whom, who lags."""
 
@@ -189,9 +258,17 @@ class ScenarioState:
     active: tuple[int, ...]
     partition_ids: tuple[int | None, ...]
     slowdowns: tuple[float, ...]
+    byzantine: tuple[str | None, ...] = ()
 
     def is_active(self, node: int) -> bool:
         return node in self.active
+
+    def byzantine_mode(self, node: int) -> str | None:
+        """The attack ``node`` mounts this round (``None`` for honest nodes)."""
+
+        if not self.byzantine:
+            return None
+        return self.byzantine[node]
 
     def allows(self, sender: int, receiver: int) -> bool:
         """Whether a message from ``sender`` can reach ``receiver`` this round."""
@@ -222,6 +299,7 @@ class ScenarioSchedule:
     outages: tuple[NodeOutage, ...] = ()
     partitions: tuple[PartitionWindow, ...] = ()
     stragglers: tuple[StragglerWindow, ...] = ()
+    byzantine: tuple[ByzantineWindow, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -241,6 +319,9 @@ class ScenarioSchedule:
         object.__setattr__(
             self, "stragglers", self._coerce(self.stragglers, StragglerWindow)
         )
+        object.__setattr__(
+            self, "byzantine", self._coerce(self.byzantine, ByzantineWindow)
+        )
 
     @staticmethod
     def _coerce(values: Iterable[Any], cls: type) -> tuple[Any, ...]:
@@ -258,9 +339,21 @@ class ScenarioSchedule:
     # -- queries -------------------------------------------------------------------
     @property
     def has_events(self) -> bool:
-        """Whether any churn/partition/straggler event is scheduled."""
+        """Whether any churn/partition/straggler/byzantine event is scheduled."""
 
-        return bool(self.outages or self.partitions or self.stragglers)
+        return bool(
+            self.outages or self.partitions or self.stragglers or self.byzantine
+        )
+
+    def _windows(self) -> tuple[tuple[str, Any], ...]:
+        """Every scheduled window, paired with a human-readable kind label."""
+
+        return (
+            tuple(("outage", outage) for outage in self.outages)
+            + tuple(("partition", window) for window in self.partitions)
+            + tuple(("straggler window", window) for window in self.stragglers)
+            + tuple(("byzantine window", window) for window in self.byzantine)
+        )
 
     @property
     def is_trivial(self) -> bool:
@@ -268,8 +361,16 @@ class ScenarioSchedule:
 
         return not self.has_events and self.topology == GeneratorPolicy()
 
-    def validate_for(self, num_nodes: int) -> None:
-        """Check every referenced node id fits a ``num_nodes``-node deployment."""
+    def validate_for(self, num_nodes: int, rounds: int | None = None) -> None:
+        """Check the schedule fits a ``num_nodes`` x ``rounds`` deployment.
+
+        Every referenced node id must exist, and — when ``rounds`` is given —
+        every window must open before the run ends (a window whose
+        ``start_round`` is past the last round could never fire, which is
+        always a configuration mistake; windows merely *ending* past
+        ``rounds`` are fine and simply get truncated by the run length).
+        The error names the offending window.
+        """
 
         for outage in self.outages:
             if outage.node >= num_nodes:
@@ -285,19 +386,31 @@ class ScenarioSchedule:
                             f"scenario {self.name!r}: partition references node "
                             f"{node}, but the deployment has {num_nodes} nodes"
                         )
-        for window in self.stragglers:
-            for node in window.nodes:
-                if node >= num_nodes:
+        for kind, window in self._windows():
+            if kind in ("straggler window", "byzantine window"):
+                for node in window.nodes:
+                    if node >= num_nodes:
+                        raise ConfigurationError(
+                            f"scenario {self.name!r}: {kind} references node "
+                            f"{node}, but the deployment has {num_nodes} nodes"
+                        )
+        if rounds is not None:
+            for kind, window in self._windows():
+                if window.start_round >= rounds:
                     raise ConfigurationError(
-                        f"scenario {self.name!r}: straggler window references node "
-                        f"{node}, but the deployment has {num_nodes} nodes"
+                        f"scenario {self.name!r}: {kind} "
+                        f"{json.dumps(window.to_dict(), sort_keys=True)} starts at "
+                        f"round {window.start_round}, but the run only has "
+                        f"{rounds} round(s)"
                     )
 
     def state_at(self, round_index: int, num_nodes: int) -> ScenarioState:
         """The :class:`ScenarioState` round ``round_index`` runs under.
 
         Overlapping partition windows resolve to the earliest-declared open
-        window; straggler factors multiply when windows overlap on a node.
+        window; straggler factors multiply when windows overlap on a node;
+        overlapping byzantine windows resolve per node to the
+        earliest-declared open window covering that node.
         """
 
         offline = {
@@ -323,11 +436,19 @@ class ScenarioSchedule:
                 for node in window.nodes:
                     slowdowns[node] *= window.slowdown
 
+        byzantine: list[str | None] = [None] * num_nodes
+        for window in self.byzantine:
+            if window.covers(round_index):
+                for node in window.nodes:
+                    if byzantine[node] is None:
+                        byzantine[node] = window.mode
+
         return ScenarioState(
             round_index=round_index,
             active=active,
             partition_ids=tuple(partition_ids),
             slowdowns=tuple(slowdowns),
+            byzantine=tuple(byzantine),
         )
 
     # -- (de)serialization ---------------------------------------------------------
@@ -340,13 +461,14 @@ class ScenarioSchedule:
             "outages": [outage.to_dict() for outage in self.outages],
             "partitions": [window.to_dict() for window in self.partitions],
             "stragglers": [window.to_dict() for window in self.stragglers],
+            "byzantine": [window.to_dict() for window in self.byzantine],
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSchedule":
         """Rebuild a schedule from :meth:`to_dict` output (hashes match exactly)."""
 
-        known = {"name", "topology", "outages", "partitions", "stragglers"}
+        known = {"name", "topology", "outages", "partitions", "stragglers", "byzantine"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ConfigurationError(
@@ -360,4 +482,153 @@ class ScenarioSchedule:
             outages=tuple(data.get("outages", ())),
             partitions=tuple(data.get("partitions", ())),
             stragglers=tuple(data.get("stragglers", ())),
+            byzantine=tuple(data.get("byzantine", ())),
+        )
+
+    # -- trace replay --------------------------------------------------------------
+    @classmethod
+    def from_trace(
+        cls,
+        rows: str | Path | Iterable[Mapping[str, Any]],
+        name: str = "trace",
+        topology: GeneratorPolicy | None = None,
+        num_nodes: int | None = None,
+        rounds: int | None = None,
+    ) -> "ScenarioSchedule":
+        """Compile an availability/latency trace into a schedule.
+
+        ``rows`` is a JSONL file path or an iterable of already-parsed row
+        mappings.  Each row describes one node over one round window and is
+        one of two kinds:
+
+        - availability: ``{"node": 3, "round": 7, "available": false}`` —
+          the node is offline for that round.  Consecutive offline rounds
+          merge into a single :class:`NodeOutage`.  ``"available": true``
+          rows are accepted (traces usually log both states) and ignored.
+        - latency: ``{"node": 3, "start_round": 2, "end_round": 5,
+          "slowdown": 3.0}`` — the node computes ``slowdown``x slower for
+          the window.  Rows sharing a window and factor merge into one
+          :class:`StragglerWindow`.
+
+        Both kinds accept either a single ``"round"`` or a
+        ``"start_round"``/``"end_round"`` pair.  When ``num_nodes`` /
+        ``rounds`` are given, rows outside the deployment are clipped (nodes
+        past ``num_nodes`` dropped, windows truncated to ``rounds``) so one
+        recorded trace replays at any smoke or paper scale.  Malformed rows
+        raise :class:`~repro.exceptions.ConfigurationError` naming the row.
+        """
+
+        if isinstance(rows, (str, Path)):
+            path = Path(rows)
+            try:
+                lines = path.read_text(encoding="utf-8").splitlines()
+            except OSError as error:
+                raise ConfigurationError(
+                    f"cannot read trace file {path}: {error}"
+                ) from error
+            parsed: list[Mapping[str, Any]] = []
+            for number, line in enumerate(lines, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise ConfigurationError(
+                        f"trace {path} line {number}: invalid JSON ({error})"
+                    ) from error
+                parsed.append(record)
+            rows = parsed
+
+        offline_rounds: dict[int, list[int]] = {}
+        straggler_rows: dict[tuple[int, int, float], list[int]] = {}
+        for number, row in enumerate(rows, start=1):
+            label = f"trace row {number} ({json.dumps(row, sort_keys=True)})"
+            if not isinstance(row, Mapping):
+                raise ConfigurationError(f"trace row {number}: expected an object")
+            extra = sorted(
+                set(row)
+                - {"node", "round", "start_round", "end_round", "available", "slowdown"}
+            )
+            if extra:
+                raise ConfigurationError(
+                    f"{label}: unknown field(s) {', '.join(extra)}"
+                )
+            if "node" not in row:
+                raise ConfigurationError(f"{label}: missing 'node'")
+            node = int(row["node"])
+            if "round" in row:
+                if "start_round" in row or "end_round" in row:
+                    raise ConfigurationError(
+                        f"{label}: give either 'round' or a "
+                        "'start_round'/'end_round' pair, not both"
+                    )
+                start, end = int(row["round"]), int(row["round"]) + 1
+            elif "start_round" in row and "end_round" in row:
+                start, end = int(row["start_round"]), int(row["end_round"])
+            else:
+                raise ConfigurationError(
+                    f"{label}: needs 'round' or both 'start_round' and 'end_round'"
+                )
+            if start < 0 or end <= start:
+                raise ConfigurationError(
+                    f"{label}: window [{start}, {end}) is empty or negative"
+                )
+            has_avail, has_slow = "available" in row, "slowdown" in row
+            if has_avail == has_slow:
+                raise ConfigurationError(
+                    f"{label}: needs exactly one of 'available' or 'slowdown'"
+                )
+            if num_nodes is not None and node >= num_nodes:
+                continue
+            if rounds is not None:
+                end = min(end, rounds)
+                if start >= end:
+                    continue
+            if has_avail:
+                if bool(row["available"]):
+                    continue
+                offline_rounds.setdefault(node, []).extend(range(start, end))
+            else:
+                slowdown = float(row["slowdown"])
+                if slowdown < 1.0:
+                    raise ConfigurationError(
+                        f"{label}: slowdown must be >= 1 (got {slowdown})"
+                    )
+                straggler_rows.setdefault((start, end, slowdown), []).append(node)
+
+        outages: list[NodeOutage] = []
+        for node in sorted(offline_rounds):
+            run_start: int | None = None
+            previous = None
+            for round_index in sorted(set(offline_rounds[node])):
+                if run_start is None:
+                    run_start = round_index
+                elif round_index != previous + 1:
+                    outages.append(
+                        NodeOutage(node=node, start_round=run_start, end_round=previous + 1)
+                    )
+                    run_start = round_index
+                previous = round_index
+            if run_start is not None:
+                outages.append(
+                    NodeOutage(node=node, start_round=run_start, end_round=previous + 1)
+                )
+        outages.sort(key=lambda outage: (outage.start_round, outage.node))
+
+        stragglers = tuple(
+            StragglerWindow(
+                start_round=start,
+                end_round=end,
+                nodes=tuple(sorted(set(straggler_rows[(start, end, slowdown)]))),
+                slowdown=slowdown,
+            )
+            for start, end, slowdown in sorted(straggler_rows)
+        )
+
+        return cls(
+            name=name,
+            topology=topology if topology is not None else GeneratorPolicy(),
+            outages=tuple(outages),
+            stragglers=stragglers,
         )

@@ -37,7 +37,7 @@ from repro.core.interface import Message, RoundContext, SchemeFactory
 from repro.datasets.base import LearningTask
 from repro.datasets.partition import partition_dataset
 from repro.exceptions import CheckpointError, ExperimentPaused, SimulationError
-from repro.scenarios.schedule import ScenarioSchedule, ScenarioState
+from repro.scenarios.schedule import BYZANTINE_MODES, ScenarioSchedule, ScenarioState
 from repro.simulation.events import (
     AGGREGATE,
     DELIVER_MESSAGE,
@@ -271,6 +271,13 @@ class Simulator:
         )
         self._m_dropped = self.metrics.counter("engine_messages_dropped")
         self._m_suppressed = self.metrics.counter("engine_messages_suppressed")
+        self._m_byzantine = {
+            mode: self.metrics.counter("engine_byzantine_sends", mode=mode)
+            for mode in BYZANTINE_MODES
+        }
+        # Per-node frozen models held by stale-replay attackers; part of the
+        # checkpointed state (see repro.checkpoint.snapshot).
+        self._byzantine_stale: dict[int, np.ndarray] = {}
         self._m_evaluations = self.metrics.counter("engine_evaluations")
         self._m_round_latency = self.metrics.histogram("engine_round_latency_seconds")
         self._latency_marks: dict[int, float] = {}
@@ -498,6 +505,49 @@ class Simulator:
             now=now,
             node_id=node.node_id,
         )
+
+    def apply_byzantine(
+        self,
+        node_id: int,
+        round_index: int,
+        state: ScenarioState,
+        params_start: np.ndarray,
+        params_trained: np.ndarray,
+    ) -> np.ndarray:
+        """The model ``node_id`` actually presents this round (send-time attack).
+
+        Honest nodes (no open :class:`~repro.scenarios.schedule.ByzantineWindow`
+        covering them) pass their trained parameters through untouched.  A
+        Byzantine node's parameters are corrupted *before* the compression
+        scheme sees them, so every scheme faces the same attack, and the
+        corrupted model also feeds the node's own aggregation — the adversary
+        is Byzantine throughout, not merely a noisy link.  All randomness
+        comes from the per-node seeded ``"byzantine"`` RNG stream, keeping
+        hostile runs exactly replayable.
+        """
+
+        mode = state.byzantine_mode(node_id)
+        if mode is None:
+            # Leaving a stale-replay window releases the frozen model.
+            self._byzantine_stale.pop(node_id, None)
+            return params_trained
+        self._m_byzantine[mode].inc()
+        if mode == "sign-flip":
+            # Mirror the local update about the round's starting point.
+            return 2.0 * params_start - params_trained
+        if mode == "random-gradient":
+            rng = self.seeds.node_rng(node_id, "byzantine", round_index)
+            update = params_trained - params_start
+            scale = float(np.sqrt(np.mean(update * update)))
+            if scale == 0.0:
+                scale = 1.0
+            return params_start + rng.standard_normal(update.shape) * scale
+        # stale-replay: freeze the first in-window model and resend it.
+        held = self._byzantine_stale.get(node_id)
+        if held is None:
+            held = params_trained.copy()
+            self._byzantine_stale[node_id] = held
+        return held.copy()
 
     def prepare_message(self, node: SimulationNode, context: RoundContext) -> Message:
         """Ask ``node``'s scheme for its round message and meter the send."""
@@ -731,6 +781,9 @@ class SynchronousMode(ExecutionMode):
             for node in active_nodes:
                 with simulator.profile("train"):
                     params_start, params_trained = node.local_training()
+                params_trained = simulator.apply_byzantine(
+                    node.node_id, round_index, state, params_start, params_trained
+                )
                 context = simulator.make_context(
                     node, round_index, params_start, params_trained, now=clock
                 )
@@ -1011,8 +1064,12 @@ class AsynchronousMode(ExecutionMode):
 
             elif event.kind == FINISH_TRAIN:
                 node = nodes[node_id]
+                state = simulator.scenario_state(node_round[node_id])
                 with simulator.profile("train"):
                     params_start, params_trained = node.local_training()
+                params_trained = simulator.apply_byzantine(
+                    node_id, node_round[node_id], state, params_start, params_trained
+                )
                 context = simulator.make_context(
                     node, node_round[node_id], params_start, params_trained, now=now
                 )
@@ -1022,7 +1079,6 @@ class AsynchronousMode(ExecutionMode):
                 last_fraction[node_id] = message.shared_fraction
 
                 neighbors = simulator.topology.neighbors(node_id)
-                state = simulator.scenario_state(node_round[node_id])
                 # The uplink serializes the copies: neighbor k's copy starts
                 # travelling only after the first k copies have been pushed.
                 transfer = (

@@ -103,7 +103,7 @@ class ExperimentConfig:
                     "scenario and the legacy dynamic_topology flag are mutually "
                     "exclusive; encode the rewiring policy in the scenario instead"
                 )
-            self.scenario.validate_for(self.num_nodes)
+            self.scenario.validate_for(self.num_nodes, rounds=self.rounds)
 
     # -- derived views -------------------------------------------------------------
     def resolved_scenario(self) -> ScenarioSchedule:

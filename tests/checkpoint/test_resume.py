@@ -17,6 +17,7 @@ from repro.checkpoint import CheckpointManager, SimulationSnapshot, capture_snap
 from repro.core import jwins_factory
 from repro.exceptions import ExperimentPaused
 from repro.scenarios import get_scenario
+from repro.scenarios.schedule import BYZANTINE_MODES, ByzantineWindow, ScenarioSchedule
 from repro.simulation import (
     ExperimentConfig,
     resume_experiment,
@@ -192,6 +193,77 @@ def test_cadence_checkpoints_do_not_change_results(tmp_path):
         make_toy_task(), jwins_factory(), config, manager.load("toy")
     )
     assert resumed.to_dict() == plain.to_dict()
+
+
+def _byzantine_config(execution: str, mode: str) -> ExperimentConfig:
+    """build_config, but under a byzantine window that straddles the pause."""
+
+    schedule = ScenarioSchedule(
+        name=f"byz-{mode}",
+        byzantine=(
+            ByzantineWindow(start_round=1, end_round=5, nodes=(4, 5), mode=mode),
+        ),
+    )
+    overrides = dict(
+        num_nodes=6,
+        degree=2,
+        rounds=ROUNDS,
+        local_steps=1,
+        batch_size=8,
+        learning_rate=0.1,
+        eval_every=2,
+        eval_test_samples=48,
+        seed=3,
+        partition="shards",
+        execution=execution,
+        message_drop_probability=0.1,
+        scenario=schedule.to_dict(),
+    )
+    if execution == "async":
+        overrides.update(
+            compute_speed_range=(1.0, 2.0), link_latency_jitter_seconds=0.01
+        )
+    return ExperimentConfig(**overrides)
+
+
+@pytest.mark.parametrize("execution", ["sync", "async"])
+@pytest.mark.parametrize("mode", sorted(BYZANTINE_MODES))
+def test_interrupt_resume_under_byzantine_window(execution, mode):
+    """Pausing *inside* an attack window resumes byte-for-byte.
+
+    The stale-replay variant is the sharp edge: the frozen replay models live
+    in ``Simulator._byzantine_stale`` and must survive the snapshot's JSON
+    round trip, or the resumed attacker replays a different model.
+    """
+
+    config = _byzantine_config(execution, mode)
+    uninterrupted = run_experiment(make_toy_task(), jwins_factory(), config)
+
+    snapshot = pause_at(config, 3)  # round 3 is mid-window ([1, 5))
+    if mode == "stale-replay":
+        # The held replay models are part of the snapshot, keyed by node.
+        assert [entry[0] for entry in snapshot.byzantine] == [4, 5]
+    else:
+        assert snapshot.byzantine == []
+
+    resumed = resume_experiment(
+        make_toy_task(), jwins_factory(), config, json_roundtrip(snapshot)
+    )
+    assert json.dumps(resumed.to_dict(), sort_keys=True) == json.dumps(
+        uninterrupted.to_dict(), sort_keys=True
+    )
+
+
+def test_byzantine_run_differs_from_honest_run():
+    """Sanity: the attack window actually changes the learning dynamics."""
+
+    honest = run_experiment(
+        make_toy_task(), jwins_factory(), build_config("sync", scenario=False)
+    )
+    attacked = run_experiment(
+        make_toy_task(), jwins_factory(), _byzantine_config("sync", "sign-flip")
+    )
+    assert honest.history != attacked.history
 
 
 def test_resume_after_early_target_stop():

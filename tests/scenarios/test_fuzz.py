@@ -1,0 +1,226 @@
+"""Property tests for the scenario fuzzer (repro.scenarios.fuzz).
+
+Three layers:
+
+* the *generator* — every produced case is well-formed, serializable and
+  deterministic in (seed, index), and the distribution actually covers the
+  event space (all window kinds, both execution modes, every Byzantine mode);
+* the *shrinker* — greedy delta-debugging reaches a minimal case under a
+  known predicate;
+* the *oracles* — a sampled case passes them, and the injected-chaos
+  self-test path catches deliberately broken determinism and shrinks it
+  while keeping the Byzantine window the bug lives in.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.scenarios.fuzz import (
+    ORACLES,
+    FuzzCase,
+    _oracle_rerun,
+    generate_case,
+    install_chaos,
+    main,
+    run_case,
+    shrink_case,
+)
+from repro.scenarios.schedule import (
+    BYZANTINE_MODES,
+    ByzantineWindow,
+    NodeOutage,
+    PartitionWindow,
+    ScenarioSchedule,
+    StragglerWindow,
+)
+from repro.topology.policy import GeneratorPolicy
+
+
+# -- generation --------------------------------------------------------------------
+def test_generated_cases_are_well_formed_and_round_trip():
+    for index in range(40):
+        case = generate_case(0, index)
+        assert 4 <= case.num_nodes <= 6
+        assert 3 <= case.rounds <= 6
+        assert case.execution in ("sync", "async")
+        # Every window fits the deployment and can actually open.
+        case.schedule.validate_for(case.num_nodes, rounds=case.rounds)
+        # No combination of outages empties a round (node 0 is the anchor).
+        for round_index in range(case.rounds):
+            assert case.schedule.state_at(round_index, case.num_nodes).active
+        # The case survives its own JSON round trip exactly (what --replay needs).
+        rebuilt = FuzzCase.from_dict(json.loads(json.dumps(case.to_dict())))
+        assert rebuilt == case
+        assert rebuilt.to_dict() == case.to_dict()
+
+
+def test_generation_is_a_pure_function_of_seed_and_index():
+    for index in range(10):
+        assert generate_case(3, index) == generate_case(3, index)
+    assert generate_case(3, 0) != generate_case(4, 0)
+
+
+def test_generation_covers_the_event_space():
+    cases = [generate_case(1, index) for index in range(60)]
+    assert {case.execution for case in cases} == {"sync", "async"}
+    assert any(case.schedule.outages for case in cases)
+    assert any(case.schedule.partitions for case in cases)
+    assert any(case.schedule.stragglers for case in cases)
+    assert any(case.schedule.byzantine for case in cases)
+    assert any(case.schedule.topology.rewire_every > 0 for case in cases)
+    assert any(case.drop_probability > 0 for case in cases)
+    # Permanent departures (end_round=None) are part of the distribution.
+    assert any(
+        outage.end_round is None for case in cases for outage in case.schedule.outages
+    )
+    modes = {window.mode for case in cases for window in case.schedule.byzantine}
+    assert modes == set(BYZANTINE_MODES)
+
+
+def test_ensure_byzantine_guarantees_an_attack_window():
+    for index in range(20):
+        case = generate_case(0, index, ensure_byzantine=True)
+        assert case.schedule.byzantine
+
+
+def test_case_spec_embeds_the_schedule_and_offsets_seeds():
+    case = generate_case(0, 0)
+    spec = case.spec("movielens", "jwins")
+    assert spec.overrides["scenario"] == case.schedule.to_dict()
+    assert spec.overrides["rounds"] == case.rounds
+    companion = case.spec("movielens", "jwins", seed_offset=1)
+    assert companion.overrides["seed"] == spec.overrides["seed"] + 1
+    assert companion.content_hash() != spec.content_hash()
+
+
+# -- shrinking ---------------------------------------------------------------------
+def test_shrinker_reaches_a_minimal_case():
+    case = FuzzCase(
+        index=0,
+        num_nodes=4,
+        rounds=6,
+        execution="sync",
+        drop_probability=0.15,
+        run_seed=9,
+        schedule=ScenarioSchedule(
+            name="shrink-me",
+            topology=GeneratorPolicy(
+                generator="small-world", rewire_every=2, params=(("beta", 0.2),)
+            ),
+            outages=(NodeOutage(node=1, start_round=1, end_round=3),),
+            partitions=(
+                PartitionWindow(start_round=0, end_round=4, groups=((0, 1), (2, 3))),
+            ),
+            stragglers=(
+                StragglerWindow(start_round=2, end_round=5, nodes=(2,), slowdown=2.0),
+            ),
+            byzantine=(
+                ByzantineWindow(start_round=0, end_round=6, nodes=(3,), mode="sign-flip"),
+                ByzantineWindow(
+                    start_round=1, end_round=4, nodes=(2,), mode="stale-replay"
+                ),
+            ),
+        ),
+    )
+
+    # A pure stand-in for "the bug": any schedule with a byzantine window fails.
+    shrunk = shrink_case(case, lambda candidate: bool(candidate.schedule.byzantine))
+
+    assert len(shrunk.schedule.byzantine) == 1
+    (window,) = shrunk.schedule.byzantine
+    assert window.end_round == window.start_round + 1  # truncated to one round
+    assert shrunk.schedule.outages == ()
+    assert shrunk.schedule.partitions == ()
+    assert shrunk.schedule.stragglers == ()
+    assert shrunk.schedule.topology == GeneratorPolicy()
+    assert shrunk.drop_probability == 0.0
+    assert shrunk.rounds == 2  # the floor of the rounds reduction
+    # The minimum is still a valid, runnable case.
+    shrunk.schedule.validate_for(shrunk.num_nodes, rounds=shrunk.rounds)
+
+
+def test_shrinker_returns_the_case_unchanged_at_a_fixpoint():
+    case = FuzzCase(
+        index=0,
+        num_nodes=4,
+        rounds=2,
+        execution="sync",
+        drop_probability=0.0,
+        run_seed=1,
+        schedule=ScenarioSchedule(name="already-minimal"),
+    )
+    assert shrink_case(case, lambda candidate: True) == case
+
+
+# -- oracles -----------------------------------------------------------------------
+def test_a_sampled_case_passes_every_oracle():
+    assert run_case(generate_case(0, 0)) is None
+
+
+def test_injected_chaos_is_caught_and_shrunk_in_process():
+    case = generate_case(0, 0, ensure_byzantine=True)
+    uninstall = install_chaos()
+    try:
+        detail = _oracle_rerun(case, "movielens", "jwins")
+        assert detail is not None  # the rerun oracle must ring
+
+        def still_fails(candidate: FuzzCase) -> bool:
+            return _oracle_rerun(candidate, "movielens", "jwins") is not None
+
+        shrunk = shrink_case(case, still_fails)
+        # The bug lives in the byzantine send path: shrinking must keep it.
+        assert shrunk.schedule.byzantine
+        assert len(shrunk.to_dict()["schedule"]["byzantine"]) <= len(
+            case.to_dict()["schedule"]["byzantine"]
+        )
+    finally:
+        uninstall()
+    # With the chaos uninstalled the same case is deterministic again.
+    assert _oracle_rerun(case, "movielens", "jwins") is None
+
+
+# -- the CLI entry point -----------------------------------------------------------
+def test_main_smoke_run_passes():
+    assert main(["--cases", "1", "--seed", "0"]) == 0
+
+
+def test_main_rejects_unknown_oracles():
+    assert main(["--cases", "1", "--seed", "0", "--oracles", "bogus"]) == 2
+
+
+def test_main_replay_of_a_passing_case(tmp_path, capsys):
+    report = {
+        "workload": "movielens",
+        "scheme": "jwins",
+        "case": generate_case(0, 0).to_dict(),
+    }
+    path = tmp_path / "report.json"
+    path.write_text(json.dumps(report), encoding="utf-8")
+    assert main(["--replay", str(path)]) == 0
+    assert "did not reproduce" in capsys.readouterr().out
+
+
+def test_module_self_test_catches_injected_nondeterminism():
+    """End to end, as CI runs it: `python -m repro.scenarios.fuzz --self-test`."""
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.scenarios.fuzz", "--self-test", "--cases", "1", "--seed", "0"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    assert "caught" in completed.stdout
+
+
+def test_oracle_names_are_stable():
+    # scripts/ci.sh and the README document these names; renaming is a breaking
+    # change to saved failure reports.
+    assert ORACLES == ("rerun", "workers", "resume", "trace")

@@ -6,9 +6,18 @@ import json
 
 import pytest
 
+from repro.baselines import full_sharing_factory
 from repro.exceptions import ConfigurationError
-from repro.scenarios import SCENARIO_PRESETS, describe_scenarios, get_scenario
+from repro.scenarios import (
+    BUNDLED_TRACES,
+    SCENARIO_PRESETS,
+    bundled_trace_path,
+    describe_scenarios,
+    get_scenario,
+)
 from repro.scenarios.schedule import ScenarioSchedule
+from repro.simulation import ExperimentConfig, run_experiment
+from tests.conftest import make_toy_task
 
 
 @pytest.mark.parametrize("name", sorted(SCENARIO_PRESETS))
@@ -54,3 +63,61 @@ def test_describe_scenarios_lists_every_preset():
     text = describe_scenarios()
     for name in SCENARIO_PRESETS:
         assert name in text
+
+
+def test_byzantine_preset_schedules_an_attack_window():
+    schedule = get_scenario("byzantine", num_nodes=8, rounds=20)
+    (window,) = schedule.byzantine
+    assert window.mode == "sign-flip"
+    assert window.nodes == (6, 7)  # the last quarter of the deployment
+    assert 0 < window.start_round < window.end_round <= 20
+
+
+def test_trace_presets_compile_the_bundled_traces():
+    for name in BUNDLED_TRACES:
+        path = bundled_trace_path(name)
+        assert path.is_file(), path
+        schedule = get_scenario(f"trace-{name}", num_nodes=4, rounds=12)
+        assert schedule.has_events
+    with pytest.raises(ConfigurationError, match="unknown bundled trace"):
+        bundled_trace_path("metropolitan")
+
+
+def test_trace_presets_clip_to_small_deployments():
+    # The bundled traces reference nodes/rounds beyond a smoke deployment;
+    # the preset must clip rather than reject.
+    for name in BUNDLED_TRACES:
+        schedule = get_scenario(f"trace-{name}", num_nodes=2, rounds=3)
+        schedule.validate_for(2, rounds=3)
+
+
+@pytest.mark.parametrize("execution", ["sync", "async"])
+@pytest.mark.parametrize("name", sorted(SCENARIO_PRESETS))
+def test_every_preset_actually_runs_in_both_modes(name, execution):
+    """Satellite coverage: presets are runnable, not just constructible."""
+
+    num_nodes, rounds = 4, 3
+    schedule = get_scenario(name, num_nodes=num_nodes, rounds=rounds)
+    config = ExperimentConfig(
+        num_nodes=num_nodes,
+        degree=2,
+        rounds=rounds,
+        local_steps=1,
+        batch_size=8,
+        learning_rate=0.1,
+        eval_every=2,
+        eval_test_samples=32,
+        seed=7,
+        partition="shards",
+        execution=execution,
+        scenario=schedule,
+        **(
+            {"compute_speed_range": (1.0, 2.0), "link_latency_jitter_seconds": 0.01}
+            if execution == "async"
+            else {}
+        ),
+    )
+    result = run_experiment(make_toy_task(), full_sharing_factory(), config)
+    assert result.rounds_completed == rounds
+    if schedule.has_events:
+        assert result.scenario_rounds

@@ -8,6 +8,8 @@ import pytest
 
 from repro.exceptions import ConfigurationError
 from repro.scenarios import (
+    BYZANTINE_MODES,
+    ByzantineWindow,
     NodeOutage,
     PartitionWindow,
     ScenarioSchedule,
@@ -32,6 +34,12 @@ def _rich_schedule() -> ScenarioSchedule:
         stragglers=(
             StragglerWindow(start_round=1, end_round=8, nodes=(0,), slowdown=3.0),
             StragglerWindow(start_round=4, end_round=6, nodes=(0, 2), slowdown=2.0),
+        ),
+        byzantine=(
+            ByzantineWindow(start_round=2, end_round=5, nodes=(2,), mode="sign-flip"),
+            ByzantineWindow(
+                start_round=3, end_round=7, nodes=(1, 2), mode="stale-replay"
+            ),
         ),
     )
 
@@ -157,5 +165,211 @@ class TestRoundTrips:
             outages=tuple(data["outages"]),
             partitions=tuple(data["partitions"]),
             stragglers=tuple(data["stragglers"]),
+            byzantine=tuple(data["byzantine"]),
         )
         assert schedule == _rich_schedule()
+
+
+class TestByzantine:
+    def test_rejects_bad_windows(self):
+        with pytest.raises(ConfigurationError):
+            ByzantineWindow(start_round=3, end_round=3, nodes=(0,), mode="sign-flip")
+        with pytest.raises(ConfigurationError):
+            ByzantineWindow(start_round=0, end_round=2, nodes=(), mode="sign-flip")
+        with pytest.raises(ConfigurationError):
+            ByzantineWindow(start_round=0, end_round=2, nodes=(1, 1), mode="sign-flip")
+        with pytest.raises(ConfigurationError, match="unknown byzantine mode"):
+            ByzantineWindow(start_round=0, end_round=2, nodes=(0,), mode="gaslight")
+
+    def test_nodes_are_sorted_and_modes_enumerated(self):
+        window = ByzantineWindow(start_round=0, end_round=2, nodes=(3, 1), mode="sign-flip")
+        assert window.nodes == (1, 3)
+        for mode in BYZANTINE_MODES:
+            ByzantineWindow(start_round=0, end_round=1, nodes=(0,), mode=mode)
+
+    def test_state_resolution_is_earliest_declared_wins(self):
+        schedule = _rich_schedule()
+        # Round 2: only the first window ([2, 5) sign-flip on node 2) is open.
+        state = schedule.state_at(2, 4)
+        assert state.byzantine == (None, None, "sign-flip", None)
+        assert state.byzantine_mode(2) == "sign-flip"
+        assert state.byzantine_mode(0) is None
+        # Round 4: both windows open; node 2 keeps the earliest-declared mode,
+        # node 1 only appears in the second window.
+        state = schedule.state_at(4, 4)
+        assert state.byzantine == (None, "stale-replay", "sign-flip", None)
+        # Round 6: only the second window is still open.
+        state = schedule.state_at(6, 4)
+        assert state.byzantine == (None, "stale-replay", "stale-replay", None)
+
+    def test_trivial_schedule_reports_everyone_honest(self):
+        state = ScenarioSchedule().state_at(0, 4)
+        assert state.byzantine_mode(3) is None
+
+    def test_byzantine_alone_makes_schedule_non_trivial(self):
+        schedule = ScenarioSchedule(
+            byzantine=(ByzantineWindow(start_round=0, end_round=1, nodes=(0,), mode="sign-flip"),)
+        )
+        assert schedule.has_events and not schedule.is_trivial
+
+    def test_validate_for_checks_byzantine_node_ids(self):
+        schedule = ScenarioSchedule(
+            byzantine=(ByzantineWindow(start_round=0, end_round=1, nodes=(7,), mode="sign-flip"),)
+        )
+        with pytest.raises(ConfigurationError, match="node 7"):
+            schedule.validate_for(4)
+        schedule.validate_for(8)
+
+
+class TestValidateForRounds:
+    def test_window_opening_past_the_run_is_named_in_the_error(self):
+        schedule = ScenarioSchedule(
+            name="late",
+            outages=(NodeOutage(node=1, start_round=9, end_round=11),),
+        )
+        with pytest.raises(ConfigurationError) as excinfo:
+            schedule.validate_for(4, rounds=5)
+        message = str(excinfo.value)
+        assert "'late'" in message
+        assert "outage" in message
+        assert '"start_round": 9' in message  # the offending window, as JSON
+        assert "5 round(s)" in message
+
+    def test_every_window_kind_is_checked(self):
+        late = dict(start_round=6, end_round=8)
+        for schedule in (
+            ScenarioSchedule(outages=(NodeOutage(node=0, **late),)),
+            ScenarioSchedule(
+                partitions=(PartitionWindow(groups=((0,), (1,)), **late),)
+            ),
+            ScenarioSchedule(
+                stragglers=(StragglerWindow(nodes=(0,), slowdown=2.0, **late),)
+            ),
+            ScenarioSchedule(
+                byzantine=(ByzantineWindow(nodes=(0,), mode="sign-flip", **late),)
+            ),
+        ):
+            with pytest.raises(ConfigurationError, match="starts at round 6"):
+                schedule.validate_for(4, rounds=5)
+
+    def test_windows_merely_ending_past_the_run_are_legal(self):
+        schedule = ScenarioSchedule(
+            outages=(NodeOutage(node=1, start_round=2, end_round=50),),
+            byzantine=(
+                ByzantineWindow(start_round=0, end_round=99, nodes=(0,), mode="sign-flip"),
+            ),
+        )
+        schedule.validate_for(4, rounds=5)  # truncated by the run, not an error
+
+    def test_rich_schedule_passes_when_rounds_suffice(self):
+        _rich_schedule().validate_for(4, rounds=8)
+
+    def test_without_rounds_only_node_ids_are_checked(self):
+        schedule = ScenarioSchedule(
+            outages=(NodeOutage(node=0, start_round=100, end_round=101),)
+        )
+        schedule.validate_for(4)  # rounds unknown: nothing to flag
+
+
+class TestFromTrace:
+    def test_consecutive_offline_rounds_merge_into_one_outage(self):
+        rows = [
+            {"node": 2, "round": 5, "available": False},
+            {"node": 2, "round": 7, "available": False},
+            {"node": 2, "round": 6, "available": False},
+            {"node": 0, "round": 1, "available": False},
+        ]
+        schedule = ScenarioSchedule.from_trace(rows, name="merge")
+        assert schedule.outages == (
+            NodeOutage(node=0, start_round=1, end_round=2),
+            NodeOutage(node=2, start_round=5, end_round=8),
+        )
+
+    def test_gaps_split_outages(self):
+        rows = [
+            {"node": 1, "round": 0, "available": False},
+            {"node": 1, "round": 2, "available": False},
+        ]
+        schedule = ScenarioSchedule.from_trace(rows)
+        assert schedule.outages == (
+            NodeOutage(node=1, start_round=0, end_round=1),
+            NodeOutage(node=1, start_round=2, end_round=3),
+        )
+
+    def test_available_true_rows_are_ignored(self):
+        rows = [{"node": 0, "round": 3, "available": True}]
+        assert ScenarioSchedule.from_trace(rows).is_trivial
+
+    def test_slowdown_rows_group_into_straggler_windows(self):
+        rows = [
+            {"node": 1, "start_round": 2, "end_round": 5, "slowdown": 2.5},
+            {"node": 3, "start_round": 2, "end_round": 5, "slowdown": 2.5},
+            {"node": 0, "round": 4, "slowdown": 1.5},
+        ]
+        schedule = ScenarioSchedule.from_trace(rows)
+        assert schedule.stragglers == (
+            StragglerWindow(start_round=2, end_round=5, nodes=(1, 3), slowdown=2.5),
+            StragglerWindow(start_round=4, end_round=5, nodes=(0,), slowdown=1.5),
+        )
+
+    def test_clipping_drops_out_of_range_rows(self):
+        rows = [
+            {"node": 9, "round": 0, "available": False},  # node past deployment
+            {"node": 1, "round": 8, "available": False},  # window past the run
+            {"node": 1, "start_round": 2, "end_round": 9, "slowdown": 2.0},
+        ]
+        schedule = ScenarioSchedule.from_trace(rows, num_nodes=4, rounds=4)
+        assert schedule.outages == ()
+        assert schedule.stragglers == (
+            StragglerWindow(start_round=2, end_round=4, nodes=(1,), slowdown=2.0),
+        )
+        schedule.validate_for(4, rounds=4)
+
+    def test_malformed_rows_name_the_row(self):
+        bad_rows = [
+            ([{"round": 0, "available": False}], "missing 'node'"),
+            ([{"node": 0, "round": 1}], "exactly one of"),
+            ([{"node": 0, "round": 1, "available": False, "slowdown": 2.0}], "exactly one of"),
+            ([{"node": 0, "available": False}], "needs 'round' or both"),
+            ([{"node": 0, "round": 1, "start_round": 0, "end_round": 2, "available": False}], "not both"),
+            ([{"node": 0, "start_round": 3, "end_round": 3, "available": False}], "empty or negative"),
+            ([{"node": 0, "round": 1, "slowdown": 0.5}], "slowdown must be >= 1"),
+            ([{"node": 0, "round": 1, "available": False, "weather": "rainy"}], "unknown field"),
+        ]
+        for rows, fragment in bad_rows:
+            with pytest.raises(ConfigurationError, match="trace row 1") as excinfo:
+                ScenarioSchedule.from_trace(rows)
+            assert fragment in str(excinfo.value)
+
+    def test_jsonl_file_with_comments_and_bad_line_numbers(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            "# header comment\n"
+            "\n"
+            '{"node": 0, "round": 1, "available": false}\n'
+            "not json\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(ConfigurationError, match="line 4"):
+            ScenarioSchedule.from_trace(path)
+        path.write_text(
+            "# header comment\n"
+            '{"node": 0, "round": 1, "available": false}\n',
+            encoding="utf-8",
+        )
+        schedule = ScenarioSchedule.from_trace(path, name="from-file")
+        assert schedule.name == "from-file"
+        assert schedule.outages == (NodeOutage(node=0, start_round=1, end_round=2),)
+
+    def test_missing_file_raises_configuration_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read trace file"):
+            ScenarioSchedule.from_trace(tmp_path / "absent.jsonl")
+
+    def test_round_trips_exactly(self):
+        rows = [
+            {"node": 1, "round": 0, "available": False},
+            {"node": 2, "start_round": 1, "end_round": 3, "slowdown": 3.0},
+        ]
+        schedule = ScenarioSchedule.from_trace(rows, name="rt")
+        rebuilt = ScenarioSchedule.from_dict(json.loads(json.dumps(schedule.to_dict())))
+        assert rebuilt == schedule

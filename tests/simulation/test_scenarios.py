@@ -237,3 +237,80 @@ def test_result_with_scenario_trace_round_trips_exactly():
     rebuilt = ExperimentResult.from_dict(json.loads(json.dumps(result.to_dict())))
     assert rebuilt == result
     assert rebuilt.scenario_rounds == result.scenario_rounds
+
+
+# -- byzantine semantics -----------------------------------------------------------
+
+
+def _byzantine_schedule(mode: str) -> ScenarioSchedule:
+    from repro.scenarios import ByzantineWindow
+
+    return ScenarioSchedule(
+        name=f"byz-{mode}",
+        byzantine=(
+            ByzantineWindow(start_round=1, end_round=4, nodes=(4, 5), mode=mode),
+        ),
+    )
+
+
+@pytest.mark.parametrize("execution", ["sync", "async"])
+@pytest.mark.parametrize("mode", ["random-gradient", "sign-flip", "stale-replay"])
+def test_byzantine_runs_are_bit_identical_across_reruns(mode, execution):
+    config = replace(CONFIG, scenario=_byzantine_schedule(mode), execution=execution)
+    assert _run(config).to_dict() == _run(config).to_dict()
+
+
+@pytest.mark.parametrize("mode", ["random-gradient", "sign-flip", "stale-replay"])
+def test_byzantine_window_changes_the_learning_dynamics(mode):
+    honest = _run(CONFIG)
+    attacked = _run(replace(CONFIG, scenario=_byzantine_schedule(mode)))
+    assert [r.test_accuracy for r in attacked.history] != [
+        r.test_accuracy for r in honest.history
+    ]
+
+
+@pytest.mark.parametrize("execution", ["sync", "async"])
+def test_byzantine_sends_are_counted_per_mode(execution):
+    from repro.observability.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    config = replace(CONFIG, scenario=_byzantine_schedule("sign-flip"), execution=execution)
+    run_experiment(
+        make_toy_task(), full_sharing_factory(), config, metrics=registry
+    )
+    # 2 attackers x 3 in-window rounds, all under the sign-flip label.
+    assert registry.counter("engine_byzantine_sends", mode="sign-flip").value == 6.0
+    assert registry.counter("engine_byzantine_sends", mode="stale-replay").value == 0.0
+    assert registry.counter("engine_byzantine_sends", mode="random-gradient").value == 0.0
+
+
+def test_sign_flip_mirrors_the_update_exactly():
+    """The corrupted model is params_start - (params_trained - params_start)."""
+
+    config = replace(CONFIG, scenario=_byzantine_schedule("sign-flip"))
+    simulator = Simulator(make_toy_task(), full_sharing_factory(), config)
+    state = config.scenario.state_at(1, config.num_nodes)
+    params_start = np.arange(4, dtype=np.float64)
+    params_trained = params_start + np.array([1.0, -2.0, 0.5, 0.0])
+    corrupted = simulator.apply_byzantine(4, 1, state, params_start, params_trained)
+    assert np.array_equal(corrupted, params_start - (params_trained - params_start))
+    # Honest nodes pass through untouched.
+    honest = simulator.apply_byzantine(0, 1, state, params_start, params_trained)
+    assert honest is params_trained
+
+
+def test_stale_replay_freezes_the_first_in_window_model():
+    config = replace(CONFIG, scenario=_byzantine_schedule("stale-replay"))
+    simulator = Simulator(make_toy_task(), full_sharing_factory(), config)
+    state = config.scenario.state_at(1, config.num_nodes)
+    first = np.array([1.0, 2.0, 3.0])
+    later = np.array([9.0, 9.0, 9.0])
+    frozen = simulator.apply_byzantine(4, 1, state, np.zeros(3), first)
+    assert np.array_equal(frozen, first)
+    replayed = simulator.apply_byzantine(4, 2, state, np.zeros(3), later)
+    assert np.array_equal(replayed, first)  # still the round-1 model
+    # Once the node turns honest again the frozen model is discarded.
+    honest_state = config.scenario.state_at(5, config.num_nodes)
+    passthrough = simulator.apply_byzantine(4, 5, honest_state, np.zeros(3), later)
+    assert passthrough is later
+    assert 4 not in simulator._byzantine_stale
