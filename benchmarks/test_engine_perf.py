@@ -12,7 +12,10 @@ phase regression.
 Set ``ENGINE_BENCH_SMOKE=1`` to shrink the deployment ~4x (the CI perf
 stage's budget); smoke runs record under distinct phase keys
 (``sync_smoke``/``async_smoke``) so they are only ever compared against
-smoke baselines.
+smoke baselines.  The batched arena engine (``ExperimentConfig.engine=
+"arena"``) gets its own ``sync_arena``/``sync_arena_smoke`` cells: it
+produces byte-identical results, so any speed difference between the
+``sync`` and ``sync_arena`` rows is pure engine overhead.
 """
 
 from __future__ import annotations
@@ -36,7 +39,7 @@ ROUNDS = 4 if SMOKE else 16
 ENGINE_PHASES = {"train", "encode", "aggregate", "evaluate"}
 
 
-def _bench(execution: str) -> tuple[dict, Profiler]:
+def _bench(execution: str, engine: str = "pernode") -> tuple[dict, Profiler]:
     workload = get_workload("cifar10")
     task = workload.make_task(seed=7)
     config = scale_down(
@@ -47,7 +50,7 @@ def _bench(execution: str) -> tuple[dict, Profiler]:
         eval_every=ROUNDS // 2,
         eval_test_samples=64 if SMOKE else 128,
     )
-    config = replace(config, execution=execution)
+    config = replace(config, execution=execution, engine=engine)
     profiler = Profiler()
     started = time.perf_counter()
     result = run_experiment(
@@ -61,6 +64,7 @@ def _bench(execution: str) -> tuple[dict, Profiler]:
     metrics = {
         "smoke": SMOKE,
         "execution": execution,
+        "engine": engine,
         "num_nodes": config.num_nodes,
         "rounds": config.rounds,
         "rounds_completed": result.rounds_completed,
@@ -72,13 +76,19 @@ def _bench(execution: str) -> tuple[dict, Profiler]:
     return metrics, profiler
 
 
-@pytest.mark.parametrize("execution", ["sync", "async"])
-def test_engine_perf(execution):
-    metrics, profiler = _bench(execution)
+@pytest.mark.parametrize(
+    "execution,engine",
+    [("sync", "pernode"), ("async", "pernode"), ("sync", "arena")],
+    ids=["sync", "async", "sync_arena"],
+)
+def test_engine_perf(execution, engine):
+    metrics, profiler = _bench(execution, engine)
 
-    phase_key = f"{execution}_smoke" if SMOKE else execution
+    base_key = execution if engine == "pernode" else f"{execution}_{engine}"
+    phase_key = f"{base_key}_smoke" if SMOKE else base_key
     lines = [
-        f"engine perf, {execution} mode, jwins, {NUM_NODES} nodes x {ROUNDS} rounds"
+        f"engine perf, {execution} mode ({engine} engine), jwins, "
+        f"{NUM_NODES} nodes x {ROUNDS} rounds"
         f"{' (smoke)' if SMOKE else ''}",
         f"total:       {metrics['total_seconds'] * 1e3:8.1f} ms"
         f"  ({metrics['rounds_per_second']:.1f} rounds/s)",

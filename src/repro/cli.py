@@ -157,6 +157,14 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         "where heterogeneous nodes progress at their own pace",
     )
     parser.add_argument(
+        "--engine",
+        choices=("pernode", "arena"),
+        default="pernode",
+        help="node-state engine: pernode = one private model per node (the "
+        "reference twin); arena = batched (N, d) state arenas with vectorized "
+        "SGD/DWT passes for large deployments (byte-identical results)",
+    )
+    parser.add_argument(
         "--slowdown",
         type=float,
         default=1.0,
@@ -655,6 +663,9 @@ def _run_command(args: argparse.Namespace) -> int:
         overrides["degree"] = args.degree
     if args.rounds is not None:
         overrides["rounds"] = args.rounds
+    if args.engine != "pernode":
+        # Conditional so default invocations keep their historical spec hashes.
+        overrides["engine"] = args.engine
     if args.scenario is not None:
         num_nodes = args.nodes if args.nodes is not None else workload.config.num_nodes
         rounds = args.rounds if args.rounds is not None else workload.config.rounds
@@ -665,10 +676,11 @@ def _run_command(args: argparse.Namespace) -> int:
         raise SystemExit(f"invalid configuration: {error}")
 
     scenario_note = "" if config.scenario is None else f" scenario={config.scenario.name}"
+    engine_note = "" if config.engine == "pernode" else f" engine={config.engine}"
     print(
         f"workload={workload.name} nodes={config.num_nodes} rounds={config.rounds} "
         f"partition={config.partition} seed={config.seed} execution={config.execution}"
-        f"{scenario_note}"
+        f"{engine_note}{scenario_note}"
     )
     results = {}
     metrics = MetricsRegistry() if args.metrics else None

@@ -81,8 +81,32 @@ class JwinsScheme(SharingScheme):
 
     # -- Algorithm 1, lines 5-8 ------------------------------------------------
     def prepare(self, context: RoundContext) -> Message:
+        local_change = self.transform.forward(
+            np.asarray(context.params_trained, dtype=np.float64)
+            - np.asarray(context.params_start, dtype=np.float64)
+        )
+        own_coefficients = self.transform.forward(context.params_trained)
+        return self.prepare_from_coefficients(context, local_change, own_coefficients)
+
+    def prepare_from_coefficients(
+        self,
+        context: RoundContext,
+        local_change_coefficients: np.ndarray,
+        own_coefficients: np.ndarray,
+    ) -> Message:
+        """Algorithm 1 lines 5-8 from precomputed coefficient vectors.
+
+        The arena engine runs the two forward DWTs (of the local change and of
+        the trained model) for *all* nodes in two batched passes and hands each
+        scheme its rows; :meth:`prepare` delegates here after computing the
+        same two vectors one node at a time, so both engines share one code
+        path and produce bit-identical messages.  ``own_coefficients`` is
+        retained by reference until :meth:`aggregate` consumes it and must not
+        be mutated by the caller in between.
+        """
+
         scores = self._adjust_scores(
-            self.ranker.round_scores(context.params_start, context.params_trained)
+            self.ranker.round_scores_from_change(local_change_coefficients)
         )
         if self.config.use_random_cutoff:
             alpha = self.config.cutoff.sample(context.rng)
@@ -91,7 +115,7 @@ class JwinsScheme(SharingScheme):
         self.last_alpha = alpha
         count = fraction_to_count(alpha, self.ranker.coefficient_size)
         indices = topk_indices(scores, count)
-        own_coefficients = self.transform.forward(context.params_trained)
+        own_coefficients = np.asarray(own_coefficients, dtype=np.float64)
         self._own_coefficients = own_coefficients
         values = own_coefficients[indices]
         self.ranker.mark_shared(indices)
@@ -118,6 +142,20 @@ class JwinsScheme(SharingScheme):
 
     # -- Algorithm 1, lines 9-11 ------------------------------------------------
     def aggregate(self, context: RoundContext, messages: list[Message]) -> np.ndarray:
+        averaged = self.aggregate_coefficients(context, messages)
+        return self.transform.inverse(averaged)
+
+    def aggregate_coefficients(
+        self, context: RoundContext, messages: list[Message]
+    ) -> np.ndarray:
+        """Algorithm 1 lines 9-10 without the final inverse transform.
+
+        Returns the partially weighted-averaged coefficient vector still in
+        the transform domain.  :meth:`aggregate` immediately inverts it; the
+        arena engine instead stacks the rows of all nodes and reconstructs
+        them in one batched inverse-DWT pass — bit-identical either way.
+        """
+
         if self._own_coefficients is None:
             raise SimulationError("aggregate called before prepare")
         contributions = []
@@ -141,13 +179,22 @@ class JwinsScheme(SharingScheme):
         averaged = partial_weighted_average(
             self._own_coefficients, context.self_weight, contributions
         )
-        new_params = self.transform.inverse(averaged)
         self._own_coefficients = None
-        return new_params
+        return averaged
 
     # -- Algorithm 1, line 12 ----------------------------------------------------
     def finalize(self, context: RoundContext, new_params: np.ndarray) -> None:
         self.ranker.end_of_round(context.params_start, new_params)
+
+    def finalize_from_change(self, round_change_coefficients: np.ndarray) -> None:
+        """Equation 4 from a precomputed coefficient-domain round change.
+
+        Batched twin of :meth:`finalize`: the arena engine transforms
+        ``x^(t+1,0) - x^(t,0)`` for all nodes in one pass and feeds each
+        scheme its row.  A no-op when accumulation is disabled.
+        """
+
+        self.ranker.end_of_round_from_change(round_change_coefficients)
 
     # -- checkpointing -----------------------------------------------------------
     def state_dict(self) -> dict:

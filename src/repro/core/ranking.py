@@ -56,6 +56,22 @@ class WaveletRanker:
             return local_change
         return self._accumulator.scores + local_change
 
+    def round_scores_from_change(self, local_change: np.ndarray) -> np.ndarray:
+        """Equation 3 from a precomputed coefficient-domain local change.
+
+        The arena engine computes ``DWT(x^(t,tau) - x^(t,0))`` for *all* nodes
+        in one batched pass and hands each ranker its row; this entry point
+        skips the per-node transform of :meth:`round_scores` but returns
+        bit-identical scores.  The input is never mutated (a defensive copy is
+        taken on the non-accumulating path), so rows of a shared stacked
+        matrix are safe to pass.
+        """
+
+        local_change = np.asarray(local_change, dtype=np.float64)
+        if not self.use_accumulation:
+            return local_change.copy()
+        return self._accumulator.scores + local_change
+
     def mark_shared(self, indices: np.ndarray) -> None:
         """Zero the persistent scores of coefficients that were just shared."""
 
@@ -71,6 +87,19 @@ class WaveletRanker:
             np.asarray(params_final, dtype=np.float64)
             - np.asarray(params_start, dtype=np.float64)
         )
+        self._accumulator.add(round_change)
+
+    def end_of_round_from_change(self, round_change: np.ndarray) -> None:
+        """Equation 4 from a precomputed coefficient-domain round change.
+
+        Batched twin of :meth:`end_of_round`: the arena engine transforms the
+        whole-round change of every node in one pass and feeds each ranker its
+        row.  A no-op when accumulation is disabled, exactly like the per-node
+        path.
+        """
+
+        if not self.use_accumulation:
+            return
         self._accumulator.add(round_change)
 
     # -- checkpointing --------------------------------------------------------------

@@ -7,6 +7,10 @@ engine:
   byte metering, evaluation) plus the pluggable execution modes:
   :class:`SynchronousMode` (the paper's lock-step rounds) and
   :class:`AsynchronousMode` (event-driven gossip over heterogeneous nodes);
+* :mod:`repro.simulation.arena` — the arena engine: node state batched into
+  contiguous ``(N, d)`` arenas with vectorized SGD/DWT passes, selected via
+  ``ExperimentConfig.engine="arena"`` and byte-identical to the per-node
+  reference path (see ``docs/SCALING.md``);
 * :mod:`repro.simulation.events` — the typed :class:`Event` and the
   deterministic :class:`EventLoop` the async mode runs on;
 * :mod:`repro.simulation.runner` — the :func:`run_experiment` one-call facade;
@@ -24,6 +28,12 @@ Attach observers instead of editing the loop::
     result = simulator.run()
 """
 
+from repro.simulation.arena import (
+    ArenaSGD,
+    ArenaSynchronousMode,
+    NodeArenas,
+    build_arena_nodes,
+)
 from repro.simulation.engine import (
     AsynchronousMode,
     ExecutionMode,
@@ -32,7 +42,7 @@ from repro.simulation.engine import (
     SynchronousMode,
 )
 from repro.simulation.events import Event, EventLoop
-from repro.simulation.experiment import EXECUTION_MODES, ExperimentConfig
+from repro.simulation.experiment import ENGINES, EXECUTION_MODES, ExperimentConfig
 from repro.simulation.metrics import ExperimentResult, RoundRecord
 from repro.simulation.network import ByteMeter
 from repro.simulation.node import SimulationNode
@@ -40,12 +50,16 @@ from repro.simulation.runner import build_nodes, resume_experiment, run_experime
 from repro.simulation.timing import HeterogeneousTimeModel, TimeModel, time_model_from_dict
 
 __all__ = [
+    "ArenaSGD",
+    "ArenaSynchronousMode",
     "AsynchronousMode",
     "ByteMeter",
+    "ENGINES",
     "EXECUTION_MODES",
     "Event",
     "EventLoop",
     "ExecutionMode",
+    "NodeArenas",
     "ExperimentConfig",
     "ExperimentResult",
     "HeterogeneousTimeModel",
@@ -55,6 +69,7 @@ __all__ = [
     "Simulator",
     "SynchronousMode",
     "TimeModel",
+    "build_arena_nodes",
     "build_nodes",
     "resume_experiment",
     "run_experiment",

@@ -239,7 +239,16 @@ class Simulator:
         self.task = task
         self.config = config
         self.seeds = SeedSequenceFactory(config.seed)
-        self.nodes = build_nodes(task, scheme_factory, config)
+        if config.engine == "arena":
+            # Lazy import: the arena module subclasses SynchronousMode.
+            from repro.simulation.arena import build_arena_nodes
+
+            self.nodes, self.arenas = build_arena_nodes(task, scheme_factory, config)
+        else:
+            self.nodes = build_nodes(task, scheme_factory, config)
+            #: Contiguous ``(N, d)`` state arenas backing the nodes under the
+            #: arena engine; ``None`` under the per-node reference engine.
+            self.arenas = None
         self.model_size = int(self.nodes[0].get_parameters().size)
 
         self.scenario: ScenarioSchedule = config.resolved_scenario()
@@ -283,7 +292,16 @@ class Simulator:
         self._latency_marks: dict[int, float] = {}
 
         if mode is None:
-            mode = SynchronousMode() if config.execution == "sync" else AsynchronousMode()
+            if config.execution != "sync":
+                # The event-driven mode steps nodes one at a time, so it works
+                # unchanged on arena-backed nodes (state lives behind views).
+                mode = AsynchronousMode()
+            elif config.engine == "arena":
+                from repro.simulation.arena import ArenaSynchronousMode
+
+                mode = ArenaSynchronousMode()
+            else:
+                mode = SynchronousMode()
         self.mode = mode
 
         self.result = ExperimentResult(
@@ -552,7 +570,19 @@ class Simulator:
     def prepare_message(self, node: SimulationNode, context: RoundContext) -> Message:
         """Ask ``node``'s scheme for its round message and meter the send."""
 
-        message = node.scheme.prepare(context)
+        return self.record_prepared_message(node, context, node.scheme.prepare(context))
+
+    def record_prepared_message(
+        self, node: SimulationNode, context: RoundContext, message: Message
+    ) -> Message:
+        """Validate and meter a round message produced for ``node``.
+
+        Shared tail of :meth:`prepare_message`; the arena engine's batched
+        encode path builds messages itself (one batched DWT pass, then one
+        scheme call per node) and routes them through here so the sender check
+        and the byte metering stay identical across engines.
+        """
+
         if message.sender != node.node_id:
             raise SimulationError("a scheme produced a message with the wrong sender id")
         self.meter.record_send(
@@ -821,9 +851,15 @@ class SynchronousMode(ExecutionMode):
                     node.set_parameters(new_params)
 
             # -- meter time and bytes ----------------------------------------------
+            # An all-nodes-offline round (possible under custom schedules) still
+            # advances the barrier clock by a silent round's duration.
             max_bytes = max(
-                message.size.total_bytes * len(simulator.topology.neighbors(message.sender))
-                for message in messages.values()
+                (
+                    message.size.total_bytes
+                    * len(simulator.topology.neighbors(message.sender))
+                    for message in messages.values()
+                ),
+                default=0,
             )
             round_duration = config.time_model.round_duration(config.local_steps, max_bytes)
             worst_slowdown = state.max_slowdown()
@@ -840,9 +876,8 @@ class SynchronousMode(ExecutionMode):
             # -- evaluate ----------------------------------------------------------
             is_last = round_index == config.rounds - 1
             if (round_index + 1) % config.eval_every == 0 or is_last:
-                simulator.record_evaluation(
-                    round_index + 1, float(np.mean(round_fractions)), clock
-                )
+                shared = float(np.mean(round_fractions)) if round_fractions else 0.0
+                simulator.record_evaluation(round_index + 1, shared, clock)
                 if simulator.should_stop_at_target():
                     simulator.mark_profile_round(round_index)
                     break

@@ -7,6 +7,13 @@ target-accuracy early stop used by the "run until convergence" experiments
 and — since the engine redesign — the execution mode: ``"sync"`` for the
 paper's lock-step rounds, ``"async"`` for event-driven gossip over
 heterogeneous nodes (see :mod:`repro.simulation.engine`).
+
+Orthogonally to the execution mode, :attr:`ExperimentConfig.engine` selects
+*how node state is stored and stepped*: ``"pernode"`` keeps one private model
+per :class:`~repro.simulation.node.SimulationNode` (the reference twin),
+``"arena"`` packs all node state into contiguous ``(N, d)`` arenas and
+batches SGD/DWT work across nodes (see :mod:`repro.simulation.arena`).  Both
+engines produce byte-identical results for the same configuration.
 """
 
 from __future__ import annotations
@@ -18,10 +25,16 @@ from repro.exceptions import ConfigurationError
 from repro.scenarios.schedule import ScenarioSchedule
 from repro.simulation.timing import HeterogeneousTimeModel, TimeModel, time_model_from_dict
 
-__all__ = ["EXECUTION_MODES", "ExperimentConfig"]
+__all__ = ["ENGINES", "EXECUTION_MODES", "ExperimentConfig"]
 
 #: The execution modes the simulator engine ships with.
 EXECUTION_MODES = ("sync", "async")
+
+#: The state-layout engines the simulator ships with: ``"pernode"`` keeps one
+#: private model object per node, ``"arena"`` batches node state into
+#: contiguous ``(N, d)`` arenas (bit-identical results, very different
+#: scaling; see :mod:`repro.simulation.arena` and ``docs/SCALING.md``).
+ENGINES = ("pernode", "arena")
 
 
 @dataclass(frozen=True)
@@ -63,6 +76,12 @@ class ExperimentConfig:
     #: topology rewiring policy).  ``None`` means the trivial scenario implied
     #: by :attr:`dynamic_topology`; see :meth:`resolved_scenario`.
     scenario: ScenarioSchedule | None = None
+    #: Node-state engine: ``"pernode"`` runs one private model per node (the
+    #: bit-identical reference twin), ``"arena"`` batches all node state into
+    #: contiguous ``(N, d)`` arenas with vectorized SGD and DWT passes — the
+    #: scalable choice for hundreds to thousands of nodes.  Results are
+    #: byte-identical between the two; see :mod:`repro.simulation.arena`.
+    engine: str = "pernode"
 
     def __post_init__(self) -> None:
         if self.num_nodes < 2:
@@ -89,6 +108,10 @@ class ExperimentConfig:
             raise ConfigurationError(
                 f"unknown execution mode {self.execution!r}; "
                 f"choose from {', '.join(EXECUTION_MODES)}"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; choose from {', '.join(ENGINES)}"
             )
         # Constructing the heterogeneous model validates the ranges and the
         # jitter once, in timing.py — the single source of truth.
@@ -212,3 +235,12 @@ class ExperimentConfig:
         """Copy of this configuration running under a different execution mode."""
 
         return replace(self, execution=execution)
+
+    def with_engine(self, engine: str) -> "ExperimentConfig":
+        """Copy of this configuration running on a different node-state engine.
+
+        Handy for equivalence tests: ``config.with_engine("arena")`` is the
+        batched twin of a per-node run and must produce byte-identical results.
+        """
+
+        return replace(self, engine=engine)

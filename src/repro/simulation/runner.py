@@ -3,7 +3,10 @@
 :func:`run_experiment` is a thin wrapper over
 :class:`~repro.simulation.engine.Simulator`: it builds the engine from the
 configuration (which selects the execution mode, ``"sync"`` lock-step rounds
-or ``"async"`` event-driven gossip) and runs it to completion.
+or ``"async"`` event-driven gossip, and the node-state engine, per-node
+reference objects or the batched ``(N, d)`` arenas of
+:mod:`repro.simulation.arena` that scale one process to thousands of nodes)
+and runs it to completion.
 :func:`resume_experiment` is the matching resume-from-snapshot entry point:
 given a :class:`~repro.checkpoint.snapshot.SimulationSnapshot`, it continues
 the run bit-identically to never having stopped.  Code that needs the
@@ -49,7 +52,11 @@ def run_experiment(
     Builds a :class:`~repro.simulation.engine.Simulator` for ``task`` with one
     :class:`~repro.core.interface.SharingScheme` per node (from
     ``scheme_factory``) and drives it under the execution mode selected by
-    ``config.execution``.  ``scheme_name`` overrides the display name stored
+    ``config.execution`` and the node-state engine selected by
+    ``config.engine`` (``"arena"`` batches state into ``(N, d)`` arenas and
+    scales a single process to thousands of nodes, with results byte-identical
+    to the default per-node path — deployments are no longer capped at a few
+    dozen nodes).  ``scheme_name`` overrides the display name stored
     on the result; ``profiler`` (see :mod:`repro.utils.profiling`) opts into
     wall-clock phase timing, surfaced on
     :attr:`~repro.simulation.metrics.ExperimentResult.phase_seconds`.

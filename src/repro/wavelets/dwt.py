@@ -40,12 +40,16 @@ from repro.wavelets.filters import WaveletFilterBank, get_filter_bank
 __all__ = [
     "MultiLevelCoefficients",
     "dwt_single",
+    "dwt_single_batch",
     "dwt_single_reference",
     "idwt_single",
+    "idwt_single_batch",
     "idwt_single_reference",
     "max_decomposition_level",
     "wavedec",
+    "wavedec_batch",
     "waverec",
+    "waverec_batch",
 ]
 
 
@@ -163,6 +167,66 @@ def _synthesis_accumulate(
     coefficient_indices, tap_values = _synthesis_gather_matrices(length, taps)
     for m in range(tap_values.shape[1]):
         out += tap_values[:, m] * coefficients[coefficient_indices[:, m]]
+
+
+def _analysis_batch(signals: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`_analysis` over a stacked ``(N, length)`` signal matrix.
+
+    Each row is filtered and downsampled exactly like the single-signal path:
+    the cyclic extension appends leading columns (the same values
+    ``np.resize`` repeats), the strided view reads window ``i`` of row ``r``
+    as ``extended[r, 2i : 2i + K]``, and taps accumulate in the original
+    order.  Because every operation is elementwise per row, row ``r`` of the
+    result is bit-identical to ``_analysis(signals[r], taps)``.
+    """
+
+    count, length = signals.shape
+    half = length // 2
+    window = taps.size
+    needed = max(length, 2 * half - 2 + window)
+    if needed == length:
+        extended = np.ascontiguousarray(signals)
+    else:
+        # Cyclic extension by column blocks: repeat the signal prefix until
+        # the last window fits, mirroring np.resize's flat repetition per row.
+        parts = [signals]
+        remaining = needed - length
+        while remaining > 0:
+            take = min(length, remaining)
+            parts.append(signals[:, :take])
+            remaining -= take
+        extended = np.ascontiguousarray(np.concatenate(parts, axis=1))
+    row_stride, col_stride = extended.strides
+    windows = np.lib.stride_tricks.as_strided(
+        extended,
+        shape=(count, half, window),
+        strides=(row_stride, 2 * col_stride, col_stride),
+        writeable=False,
+    )
+    out = np.zeros((count, half), dtype=np.float64)
+    for k in range(window):
+        out += taps[k] * windows[:, :, k]
+    return out
+
+
+def _synthesis_accumulate_batch(
+    coefficients: np.ndarray, taps: np.ndarray, length: int, out: np.ndarray
+) -> None:
+    """Row-wise :func:`_synthesis_accumulate` over ``(N, length // 2)`` rows.
+
+    Shares the cached gather matrices with the single-signal path and
+    accumulates taps in the same ascending order, so each output row is
+    bit-identical to the per-row call.  Falls back to the reference scatter
+    per row for odd-tap filters or non-periodized lengths.
+    """
+
+    if taps.size % 2 or length != 2 * coefficients.shape[1]:
+        for row in range(coefficients.shape[0]):
+            _synthesis_accumulate_reference(coefficients[row], taps, length, out[row])
+        return
+    coefficient_indices, tap_values = _synthesis_gather_matrices(length, taps)
+    for m in range(tap_values.shape[1]):
+        out += tap_values[:, m] * coefficients[:, coefficient_indices[:, m]]
 
 
 def dwt_single(
@@ -358,5 +422,134 @@ def waverec(coefficients: MultiLevelCoefficients) -> np.ndarray:
         raise WaveletError(
             "reconstructed length does not match the original signal length: "
             f"{current.size} != {coefficients.original_length}"
+        )
+    return current
+
+
+# -- batched (N, length) variants --------------------------------------------------
+def dwt_single_batch(
+    signals: np.ndarray, wavelet: str | WaveletFilterBank = "sym2"
+) -> tuple[np.ndarray, np.ndarray, bool]:
+    """One DWT level over a stacked ``(N, length)`` matrix of signals.
+
+    Returns ``(approximations, details, padded)`` with one row per input row;
+    ``padded`` is shared because every row has the same length.  Row ``r`` of
+    each output is bit-identical to ``dwt_single(signals[r], wavelet)`` — the
+    batched analysis performs the same elementwise tap accumulation, just
+    across all rows at once (the arena engine's stacked-coefficient path).
+    """
+
+    bank = wavelet if isinstance(wavelet, WaveletFilterBank) else get_filter_bank(wavelet)
+    values = np.asarray(signals, dtype=np.float64)
+    if values.ndim != 2:
+        raise WaveletError(f"dwt_single_batch expects a 2-D matrix, got ndim={values.ndim}")
+    if values.shape[1] < 2:
+        raise WaveletError("dwt_single_batch requires signals with at least 2 elements")
+    padded = values.shape[1] % 2 == 1
+    if padded:
+        values = np.concatenate([values, np.zeros((values.shape[0], 1))], axis=1)
+    approx = _analysis_batch(values, bank.dec_lo)
+    detail = _analysis_batch(values, bank.dec_hi)
+    return approx, detail, padded
+
+
+def idwt_single_batch(
+    approx: np.ndarray,
+    detail: np.ndarray,
+    wavelet: str | WaveletFilterBank = "sym2",
+    padded: bool = False,
+) -> np.ndarray:
+    """Invert one DWT level over stacked ``(N, length // 2)`` coefficient rows.
+
+    The inverse of :func:`dwt_single_batch`: row ``r`` of the result is
+    bit-identical to ``idwt_single(approx[r], detail[r], wavelet, padded)``.
+    """
+
+    bank = wavelet if isinstance(wavelet, WaveletFilterBank) else get_filter_bank(wavelet)
+    approx = np.asarray(approx, dtype=np.float64)
+    detail = np.asarray(detail, dtype=np.float64)
+    if approx.ndim != 2 or detail.ndim != 2:
+        raise WaveletError("idwt_single_batch expects 2-D coefficient matrices")
+    if approx.shape != detail.shape:
+        raise WaveletError(
+            f"approximation {approx.shape} and detail {detail.shape} shapes differ"
+        )
+    length = 2 * approx.shape[1]
+    out = np.zeros((approx.shape[0], length), dtype=np.float64)
+    _synthesis_accumulate_batch(approx, bank.dec_lo, length, out)
+    _synthesis_accumulate_batch(detail, bank.dec_hi, length, out)
+    if padded:
+        out = out[:, :-1]
+    return out
+
+
+def wavedec_batch(
+    signals: np.ndarray,
+    wavelet: str | WaveletFilterBank = "sym2",
+    levels: int | None = 4,
+) -> tuple[list[np.ndarray], tuple[bool, ...]]:
+    """Multi-level decomposition of a stacked ``(N, length)`` signal matrix.
+
+    Returns ``(bands, pad_flags)`` where ``bands`` lists 2-D matrices in the
+    :func:`wavedec` order (deepest approximation first, then details deepest
+    to shallowest) and ``pad_flags`` matches
+    :attr:`MultiLevelCoefficients.pad_flags` (identical for every row, since
+    all rows share one length).  Row ``r`` of each band is bit-identical to
+    the corresponding band of ``wavedec(signals[r], wavelet, levels)``.
+    """
+
+    bank = wavelet if isinstance(wavelet, WaveletFilterBank) else get_filter_bank(wavelet)
+    values = np.asarray(signals, dtype=np.float64)
+    if values.ndim != 2:
+        raise WaveletError(f"wavedec_batch expects a 2-D matrix, got ndim={values.ndim}")
+    if values.shape[1] == 0:
+        raise WaveletError("cannot decompose empty signals")
+    limit = max_decomposition_level(values.shape[1], bank)
+    if levels is None:
+        levels = limit
+    if levels < 0:
+        raise WaveletError("levels must be non-negative")
+    levels = min(int(levels), limit)
+
+    details: list[np.ndarray] = []
+    pad_flags: list[bool] = []
+    current = values
+    for _ in range(levels):
+        approx, detail, padded = dwt_single_batch(current, bank)
+        details.append(detail)
+        pad_flags.append(padded)
+        current = approx
+    return [current] + list(reversed(details)), tuple(pad_flags)
+
+
+def waverec_batch(
+    bands: list[np.ndarray],
+    pad_flags: tuple[bool, ...],
+    wavelet: str | WaveletFilterBank = "sym2",
+    original_length: int | None = None,
+) -> np.ndarray:
+    """Invert :func:`wavedec_batch`, returning the ``(N, length)`` signal matrix.
+
+    ``bands`` and ``pad_flags`` follow the :func:`wavedec_batch` conventions;
+    ``original_length``, when given, validates the reconstructed width.  Row
+    ``r`` of the result is bit-identical to reconstructing row ``r``'s bands
+    through :func:`waverec`.
+    """
+
+    bank = wavelet if isinstance(wavelet, WaveletFilterBank) else get_filter_bank(wavelet)
+    if not bands:
+        raise WaveletError("waverec_batch needs at least one coefficient band")
+    if len(bands) == 1:
+        return np.asarray(bands[0], dtype=np.float64).copy()
+    current = np.asarray(bands[0], dtype=np.float64)
+    levels = len(bands) - 1
+    # Details are stored deepest-first; pad flags are stored shallowest-first.
+    for depth, detail in enumerate(bands[1:]):
+        padded = pad_flags[levels - 1 - depth]
+        current = idwt_single_batch(current, np.asarray(detail, dtype=np.float64), bank, padded=padded)
+    if original_length is not None and current.shape[1] != original_length:
+        raise WaveletError(
+            "reconstructed length does not match the original signal length: "
+            f"{current.shape[1]} != {original_length}"
         )
     return current

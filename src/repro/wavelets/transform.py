@@ -21,7 +21,13 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.exceptions import WaveletError
-from repro.wavelets.dwt import max_decomposition_level, wavedec, waverec
+from repro.wavelets.dwt import (
+    max_decomposition_level,
+    wavedec,
+    wavedec_batch,
+    waverec,
+    waverec_batch,
+)
 from repro.wavelets.fourier import FourierLayout, fft_forward, fft_inverse
 from repro.wavelets.packing import CoefficientLayout, pack_coefficients, unpack_coefficients
 
@@ -68,6 +74,38 @@ class ModelTransform(ABC):
             )
         return values
 
+    # -- batched (N, size) entry points -------------------------------------------
+    def forward_batch(self, matrix: np.ndarray) -> np.ndarray:
+        """Map a stacked ``(N, model_size)`` matrix to ``(N, coefficient_size)``.
+
+        Row ``r`` of the result equals ``forward(matrix[r])`` bit for bit —
+        that contract is what lets the arena engine batch DWT calls over all
+        nodes and stay byte-identical to the per-node path.  The default
+        implementation simply loops over rows; transforms with a true batched
+        kernel (:class:`WaveletTransform`) override it.
+        """
+
+        matrix = self._check_batch(matrix, self._model_size)
+        return np.stack([self.forward(row) for row in matrix])
+
+    def inverse_batch(self, coefficients: np.ndarray) -> np.ndarray:
+        """Map stacked ``(N, coefficient_size)`` rows back to ``(N, model_size)``.
+
+        The inverse of :meth:`forward_batch`, with the same per-row
+        bit-identity contract to :meth:`inverse`; the default loops over rows.
+        """
+
+        coefficients = self._check_batch(coefficients, self.coefficient_size())
+        return np.stack([self.inverse(row) for row in coefficients])
+
+    def _check_batch(self, matrix: np.ndarray, width: int) -> np.ndarray:
+        values = np.asarray(matrix, dtype=np.float64)
+        if values.ndim != 2 or values.shape[1] != width:
+            raise WaveletError(
+                f"expected an (N, {width}) matrix, got shape {values.shape}"
+            )
+        return values
+
 
 class IdentityTransform(ModelTransform):
     """The trivial transform: coefficients are the parameters themselves."""
@@ -80,6 +118,16 @@ class IdentityTransform(ModelTransform):
 
     def inverse(self, coefficients: np.ndarray) -> np.ndarray:
         return self._check_input(coefficients).copy()
+
+    def forward_batch(self, matrix: np.ndarray) -> np.ndarray:
+        """Copy the stacked rows through unchanged (trivially bit-identical)."""
+
+        return self._check_batch(matrix, self._model_size).copy()
+
+    def inverse_batch(self, coefficients: np.ndarray) -> np.ndarray:
+        """Copy the stacked rows through unchanged (trivially bit-identical)."""
+
+        return self._check_batch(coefficients, self._model_size).copy()
 
 
 class WaveletTransform(ModelTransform):
@@ -123,6 +171,38 @@ class WaveletTransform(ModelTransform):
     def inverse(self, coefficients: np.ndarray) -> np.ndarray:
         unpacked = unpack_coefficients(coefficients, self._layout)
         return waverec(unpacked)
+
+    def forward_batch(self, matrix: np.ndarray) -> np.ndarray:
+        """Batched DWT of stacked parameter rows (one kernel pass, all nodes).
+
+        Decomposes the whole ``(N, model_size)`` matrix through
+        :func:`~repro.wavelets.dwt.wavedec_batch` and packs the bands along
+        axis 1 — row ``r`` is bit-identical to ``forward(matrix[r])`` because
+        the batched analysis accumulates taps in the same elementwise order
+        and the band concatenation mirrors the single-row packing.
+        """
+
+        matrix = self._check_batch(matrix, self._model_size)
+        bands, pad_flags = wavedec_batch(matrix, self.wavelet, self.levels)
+        if pad_flags != self._layout.pad_flags or tuple(
+            band.shape[1] for band in bands
+        ) != self._layout.band_sizes:
+            raise WaveletError("batched decomposition disagrees with the probe layout")
+        return np.concatenate(bands, axis=1)
+
+    def inverse_batch(self, coefficients: np.ndarray) -> np.ndarray:
+        """Batched inverse DWT of stacked coefficient rows (arena aggregate path).
+
+        Unpacks along axis 1 using the precomputed layout and reconstructs
+        every row in one :func:`~repro.wavelets.dwt.waverec_batch` pass, bit
+        for bit equal to per-row :meth:`inverse` calls.
+        """
+
+        coefficients = self._check_batch(coefficients, self.coefficient_size())
+        bands = [coefficients[:, band] for band in self._layout.band_slices()]
+        return waverec_batch(
+            bands, self._layout.pad_flags, self.wavelet, self._layout.original_length
+        )
 
 
 class FourierTransform(ModelTransform):

@@ -1,0 +1,343 @@
+"""The arena engine's determinism contract: byte-identity with the per-node twin.
+
+Every test here runs the same configuration through both engines —
+``engine="pernode"`` (the reference) and ``engine="arena"`` (the batched
+``(N, d)`` twin from :mod:`repro.simulation.arena`) — and requires the
+serialized :class:`~repro.simulation.metrics.ExperimentResult` payloads to be
+byte-for-byte equal.  The matrix covers the paper's schemes and scenario
+machinery plus the awkward edge shapes: a single-row arena, a round where every
+node is offline, a node churning out mid-run, and odd parameter-tensor lengths
+flowing through the batched DWT.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines import choco_factory, full_sharing_factory
+from repro.core import JwinsConfig, jwins_factory
+from repro.core.adaptive import adaptive_jwins_factory
+from repro.exceptions import ConfigurationError, ExperimentPaused, SimulationError
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD
+from repro.scenarios import get_scenario
+from repro.scenarios.schedule import NodeOutage, ScenarioSchedule, ScenarioState
+from repro.simulation import (
+    ENGINES,
+    ExperimentConfig,
+    NodeArenas,
+    resume_experiment,
+    run_experiment,
+)
+from repro.simulation.arena import ArenaSGD, _jwins_batch_plan, build_arena_nodes
+from repro.simulation.engine import Simulator
+from tests.conftest import make_toy_task
+
+ROUNDS = 5
+
+
+def build_config(**overrides) -> ExperimentConfig:
+    base = dict(
+        num_nodes=6,
+        degree=2,
+        rounds=ROUNDS,
+        local_steps=2,
+        batch_size=8,
+        learning_rate=0.1,
+        eval_every=2,
+        eval_test_samples=48,
+        seed=3,
+        partition="shards",
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def dumps(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def assert_engines_agree(factory_builder, config, task_kwargs=None):
+    """Run ``config`` under both engines and require byte-equal results."""
+
+    kwargs = task_kwargs or {}
+    pernode = run_experiment(make_toy_task(**kwargs), factory_builder(), config)
+    arena = run_experiment(
+        make_toy_task(**kwargs), factory_builder(), config.with_engine("arena")
+    )
+    assert dumps(arena) == dumps(pernode)
+    return arena
+
+
+# -- the pinned equivalence matrix -------------------------------------------------
+
+
+EQUIVALENCE_CASES = {
+    "jwins-sync": {},
+    "momentum": {"momentum": 0.9},
+    "drops": {"message_drop_probability": 0.3},
+    "dynamic-topology": {"dynamic_topology": True, "momentum": 0.9},
+    "churn-partition": {
+        "scenario": get_scenario("churn-partition", num_nodes=6, rounds=ROUNDS).to_dict()
+    },
+    "byzantine": {
+        "scenario": get_scenario("byzantine", num_nodes=6, rounds=ROUNDS).to_dict()
+    },
+    "async": {"execution": "async", "compute_speed_range": (1.0, 3.0)},
+}
+
+
+@pytest.mark.parametrize("case", sorted(EQUIVALENCE_CASES))
+def test_arena_matches_pernode(case):
+    assert_engines_agree(jwins_factory, build_config(**EQUIVALENCE_CASES[case]))
+
+
+def test_arena_matches_pernode_at_twenty_nodes():
+    """The acceptance pin: arena sync-mode is byte-identical at N <= 20."""
+
+    config = build_config(num_nodes=20, degree=4, rounds=3)
+    assert_engines_agree(jwins_factory, config)
+
+
+def test_arena_matches_pernode_adaptive():
+    """AdaptiveJwinsScheme only overrides the score hook, so it batches too."""
+
+    assert_engines_agree(adaptive_jwins_factory, build_config())
+
+
+def test_arena_matches_pernode_no_accumulation():
+    config = JwinsConfig(use_accumulation=False)
+    assert_engines_agree(lambda: jwins_factory(config), build_config())
+
+
+def test_arena_matches_pernode_identity_transform():
+    config = JwinsConfig(use_wavelet=False)
+    assert_engines_agree(lambda: jwins_factory(config), build_config())
+
+
+@pytest.mark.parametrize("factory_builder", [full_sharing_factory, choco_factory])
+def test_arena_fallback_schemes_match_pernode(factory_builder):
+    """Non-JWINS schemes take the per-node fallback path on arena-backed state."""
+
+    assert_engines_agree(factory_builder, build_config())
+
+
+# -- edge shapes -------------------------------------------------------------------
+
+
+def test_arena_matches_pernode_odd_tensor_lengths():
+    """Odd per-tensor lengths (240/15/30/2, d=287) through the batched DWT."""
+
+    kwargs = dict(hidden=15, num_classes=2)
+    task = make_toy_task(**kwargs)
+    model = task.model_factory(np.random.default_rng(0))
+    sizes = [parameter.size for parameter in model.parameters()]
+    assert sum(sizes) % 2 == 1, "the fixture should exercise an odd model size"
+    assert_engines_agree(jwins_factory, build_config(), task_kwargs=kwargs)
+
+
+class _AllOfflineRound(ScenarioSchedule):
+    """A schedule whose round 1 has no active nodes at all.
+
+    The stock :meth:`ScenarioSchedule.state_at` refuses empty rounds (they are
+    almost always a configuration mistake), so the test builds the state
+    directly to pin down that both engines survive a fully idle round.
+    """
+
+    def state_at(self, round_index: int, num_nodes: int) -> ScenarioState:
+        if round_index == 1:
+            return ScenarioState(
+                round_index=1,
+                active=(),
+                partition_ids=(None,) * num_nodes,
+                slowdowns=(1.0,) * num_nodes,
+            )
+        return super().state_at(round_index, num_nodes)
+
+
+def test_arena_matches_pernode_all_nodes_offline_round():
+    config = build_config(scenario=_AllOfflineRound(name="all-offline-round-1"))
+    result = assert_engines_agree(jwins_factory, config)
+    assert result.rounds_completed == ROUNDS
+
+
+def test_arena_matches_pernode_node_churns_out_mid_run():
+    scenario = ScenarioSchedule(
+        name="mid-run-churn",
+        outages=(NodeOutage(node=2, start_round=1, end_round=3),),
+    )
+    assert_engines_agree(jwins_factory, build_config(scenario=scenario))
+
+
+def test_single_row_arena_step_matches_sgd():
+    """N=1: one batched step over a (1, d) arena equals per-tensor SGD exactly."""
+
+    shapes = [(15, 16), (15,), (2, 15), (2,)]
+    arenas = NodeArenas(1, shapes)
+    rng = np.random.default_rng(11)
+    arenas.params[0] = rng.normal(size=arenas.model_size)
+    arenas.grads[0] = rng.normal(size=arenas.model_size)
+    arenas.velocity[0] = rng.normal(size=arenas.model_size)
+
+    parameters = []
+    for column_range, shape in zip(arenas.slices, arenas.shapes):
+        parameter = Parameter(arenas.params[0, column_range].reshape(shape).copy())
+        parameter.grad = arenas.grads[0, column_range].reshape(shape).copy()
+        parameters.append(parameter)
+    reference = SGD(parameters, lr=0.1, momentum=0.9)
+    reference.load_state_dict(
+        {
+            "velocity": [
+                arenas.velocity[0, column_range].reshape(shape).copy()
+                for column_range, shape in zip(arenas.slices, arenas.shapes)
+            ]
+        }
+    )
+
+    for _ in range(3):
+        reference.step()
+        arenas.step_rows(np.array([0]), lr=0.1, momentum=0.9)
+
+    flat_reference = np.concatenate(
+        [parameter.value.ravel() for parameter in parameters]
+    )
+    np.testing.assert_array_equal(arenas.params[0], flat_reference)
+
+
+# -- interrupt + resume ------------------------------------------------------------
+
+
+def pause_at(config: ExperimentConfig, rounds: int):
+    simulator = Simulator(make_toy_task(), jwins_factory(), config)
+    simulator.on_round_end(
+        lambda r, n, now: (
+            simulator.request_checkpoint_stop()
+            if simulator.result.rounds_completed >= rounds
+            else None
+        )
+    )
+    with pytest.raises(ExperimentPaused) as info:
+        simulator.run()
+    return info.value.snapshot
+
+
+def json_roundtrip(snapshot):
+    from repro.checkpoint import SimulationSnapshot
+
+    return SimulationSnapshot.from_dict(
+        json.loads(json.dumps(snapshot.to_dict(), sort_keys=True))
+    )
+
+
+def test_arena_interrupt_resume_is_byte_identical():
+    config = build_config(momentum=0.9).with_engine("arena")
+    uninterrupted = run_experiment(make_toy_task(), jwins_factory(), config)
+    snapshot = pause_at(config, 3)
+    assert snapshot.rounds_completed == 3
+    resumed = resume_experiment(
+        make_toy_task(), jwins_factory(), config, json_roundtrip(snapshot)
+    )
+    assert dumps(resumed) == dumps(uninterrupted)
+
+
+@pytest.mark.parametrize(
+    "pause_engine,resume_engine",
+    [("pernode", "arena"), ("arena", "pernode")],
+)
+def test_snapshots_cross_engines(pause_engine, resume_engine):
+    """Checkpoints are engine-agnostic: pause under one engine, resume under the other."""
+
+    config = build_config(momentum=0.9)
+    uninterrupted = run_experiment(make_toy_task(), jwins_factory(), config)
+    snapshot = pause_at(config.with_engine(pause_engine), 3)
+    resumed = resume_experiment(
+        make_toy_task(),
+        jwins_factory(),
+        config.with_engine(resume_engine),
+        json_roundtrip(snapshot),
+    )
+    assert dumps(resumed) == dumps(uninterrupted)
+
+
+# -- arena plumbing ----------------------------------------------------------------
+
+
+def test_build_arena_nodes_rebinds_views():
+    """Node parameters, gradients and momentum all alias the shared arenas."""
+
+    config = build_config()
+    nodes, arenas = build_arena_nodes(make_toy_task(), jwins_factory(), config)
+    assert len(nodes) == config.num_nodes
+    assert arenas.params.shape == (config.num_nodes, arenas.model_size)
+    for node in nodes:
+        for parameter in node.model.parameters():
+            assert np.shares_memory(parameter.value, arenas.params)
+            assert np.shares_memory(parameter.grad, arenas.grads)
+        assert isinstance(node.optimizer, ArenaSGD)
+        np.testing.assert_array_equal(
+            node.get_parameters(), arenas.params[node.node_id]
+        )
+
+
+def test_arena_sgd_load_state_dict_writes_through_views():
+    config = build_config(momentum=0.9)
+    nodes, arenas = build_arena_nodes(make_toy_task(), jwins_factory(), config)
+    node = nodes[2]
+    replacement = [np.full(shape, 0.25) for shape in arenas.shapes]
+    node.optimizer.load_state_dict({"velocity": replacement})
+    np.testing.assert_array_equal(
+        arenas.velocity[2], np.full(arenas.model_size, 0.25)
+    )
+    for buffer, parameter in zip(node.optimizer._velocity, node.model.parameters()):
+        assert np.shares_memory(buffer, arenas.velocity)
+        assert buffer.shape == parameter.value.shape
+
+
+def test_arena_sgd_rejects_mismatched_momentum_buffers():
+    config = build_config()
+    nodes, arenas = build_arena_nodes(make_toy_task(), jwins_factory(), config)
+    with pytest.raises(SimulationError):
+        nodes[0].optimizer.load_state_dict({"velocity": [np.zeros(3)]})
+
+
+def test_node_arenas_validates_construction():
+    with pytest.raises(SimulationError):
+        NodeArenas(0, [(4,)])
+    with pytest.raises(SimulationError):
+        NodeArenas(3, [])
+
+
+def test_step_rows_with_no_active_rows_is_a_no_op():
+    arenas = NodeArenas(2, [(3,)])
+    arenas.params[:] = 1.0
+    arenas.grads[:] = 5.0
+    arenas.step_rows(np.array([], dtype=np.int64), lr=0.1, momentum=0.9)
+    np.testing.assert_array_equal(arenas.params, np.ones((2, 3)))
+    np.testing.assert_array_equal(arenas.velocity, np.zeros((2, 3)))
+
+
+def test_jwins_batch_plan_rejects_heterogeneous_schemes():
+    config = build_config()
+    jwins_nodes, _ = build_arena_nodes(make_toy_task(), jwins_factory(), config)
+    baseline_nodes, _ = build_arena_nodes(
+        make_toy_task(), full_sharing_factory(), config
+    )
+    assert _jwins_batch_plan([]) is None
+    assert _jwins_batch_plan(baseline_nodes) is None
+    assert _jwins_batch_plan(jwins_nodes[:1] + baseline_nodes[1:]) is None
+    plan = _jwins_batch_plan(jwins_nodes)
+    assert plan is not None
+    assert plan.transform is jwins_nodes[0].scheme.transform
+
+
+def test_engine_knob_is_validated():
+    assert ENGINES == ("pernode", "arena")
+    with pytest.raises(ConfigurationError):
+        build_config(engine="vectorized")
+    config = build_config()
+    assert config.engine == "pernode"
+    assert config.with_engine("arena").engine == "arena"
+    assert config.with_engine("arena").to_dict()["engine"] == "arena"
