@@ -12,10 +12,15 @@
 #   test         the tier-1 pytest suite (tests + benchmark harness)
 #   bench        codec throughput benchmark in smoke mode
 #   perf         engine benchmark in smoke mode + regression gate against the
-#                committed benchmarks/BENCH_engine.snapshot.json (>20% fails)
-#   smoke        async gossip example + orchestration sweep resume smoke
+#                committed benchmarks/BENCH_engine.snapshot.json (>20% fails);
+#                also refreshes the committed repo-root BENCH_engine.json so
+#                every PR carries its own perf numbers
+#   smoke        async gossip example + orchestration sweep resume smoke +
+#                live status.json heartbeat smoke (2-worker sweep, `top`)
 #   determinism  churn+partition sweep twice serially and once on 2 workers;
-#                the JSONL stores must be byte-for-byte identical
+#                the JSONL stores must be byte-for-byte identical (a mismatch
+#                prints a forensic trace diff: first divergent record, field
+#                drift, causal backtrace)
 #   checkpoint   SIGINT a 2-cell pool sweep mid-spec, resume it, and
 #                byte-compare the store against an uninterrupted run
 #                (the fourth determinism pillar), plus dry-run/compact smokes
@@ -23,7 +28,8 @@
 #                hostile schedule must pass the rerun, 1-vs-2-worker,
 #                interrupt-resume and strip_wall oracles (a failing case
 #                prints its JSON schedule for local replay), plus the
-#                injected-nondeterminism self-test
+#                injected-nondeterminism self-test, which must also
+#                root-cause the injected bug via the forensic trace differ
 #
 # Each stage prints its wall-clock time on success.
 set -euo pipefail
@@ -65,6 +71,10 @@ stage_perf() {
   # `python scripts/check_perf.py --update` and commit it.
   ENGINE_BENCH_SMOKE=1 python -m pytest benchmarks/test_engine_perf.py -q
   python scripts/check_perf.py
+  # Perf trajectory: keep the repo-root copy of the latest benchmark document
+  # current, so each PR commits its own numbers and `git log -p
+  # BENCH_engine.json` reads as the project's perf history.
+  cp benchmarks/output/BENCH_engine.json BENCH_engine.json
 }
 
 stage_smoke() {
@@ -78,6 +88,27 @@ stage_smoke() {
   local resume_output
   resume_output="$(python -m repro.cli sweep "${sweep_args[@]}" --store "$CI_TMP/smoke.jsonl" --workers 2)"
   grep -q "executed 0 cell(s), skipped 2" <<<"$resume_output"
+
+  # Live status heartbeat: a 2-cell pool sweep must leave an atomically
+  # rewritten status.json in a terminal state with every cell done, and
+  # `top --once` must render it.
+  local status_args=(--workload movielens --scheme jwins full-sharing
+                     --nodes 4 --degree 2 --rounds 2)
+  python -m repro.cli sweep "${status_args[@]}" --store "$CI_TMP/status-smoke.jsonl" \
+      --workers 2 --status "$CI_TMP/status-smoke" >/dev/null
+  python - "$CI_TMP/status-smoke/status.json" <<'PY'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1], encoding="utf-8"))
+assert doc["state"] == "done", f"sweep state {doc['state']!r} is not terminal"
+cells = doc["cells"]
+assert len(cells) == 2, f"expected 2 cells, got {len(cells)}"
+bad = {key: cell["state"] for key, cell in cells.items() if cell["state"] != "done"}
+assert not bad, f"non-done cells after a completed sweep: {bad}"
+PY
+  python -m repro.cli top "$CI_TMP/status-smoke" --once | grep -q "state=done"
+  echo "status smoke: 2-worker sweep reached terminal status.json with all cells done"
 }
 
 # Print a readable summary of how two JSONL stores differ (first differing
@@ -116,11 +147,32 @@ else:
 PY
 }
 
+# Forensic root-cause on a byte-compare failure: diff the per-cell traces of
+# the two runs and print the first divergent record, its field drift and the
+# causal backtrace (repro.observability.forensics via `trace diff`).
+_trace_forensics() {
+  local dir_a="$1" dir_b="$2" name
+  echo "forensic trace diff (first divergent cell):"
+  for path in "$dir_a"/*.trace.jsonl; do
+    [[ -e "$path" ]] || break
+    name="$(basename "$path")"
+    [[ -f "$dir_b/$name" ]] || continue
+    if ! python -m repro.cli trace diff "$path" "$dir_b/$name"; then
+      return 0
+    fi
+  done
+  echo "  (no divergent per-cell traces found; the mismatch is outside the traced events)"
+}
+
 _compare_stores() {
   local expected="$1" actual="$2" label="$3"
+  local expected_traces="${4:-}" actual_traces="${5:-}"
   if ! cmp -s "$expected" "$actual"; then
     echo "determinism gate FAILED: $label stores are not byte-identical"
     _store_diff_summary "$expected" "$actual"
+    if [[ -n "$expected_traces" && -n "$actual_traces" ]]; then
+      _trace_forensics "$expected_traces" "$actual_traces"
+    fi
     return 1
   fi
   echo "determinism gate: $label stores are byte-identical"
@@ -131,13 +183,18 @@ stage_determinism() {
   # 2-cell grid twice with 1 worker and once with 2 workers, then compare the
   # JSONL stores.  The churn-partition scenario cell keeps the whole scenario
   # subsystem (churn, partitions, rewiring trace) inside the gate.
+  # Each run also writes per-cell traces so a byte mismatch is root-caused on
+  # the spot (first divergent record + causal backtrace) instead of dumping a
+  # raw store diff.
   local det_args=(--workload movielens --scheme jwins full-sharing
                   --nodes 4 --degree 2 --rounds 3 --scenario churn-partition)
-  python -m repro.cli sweep "${det_args[@]}" --store "$CI_TMP/det-serial.jsonl" --workers 1 >/dev/null
-  python -m repro.cli sweep "${det_args[@]}" --store "$CI_TMP/det-rerun.jsonl"  --workers 1 >/dev/null
-  python -m repro.cli sweep "${det_args[@]}" --store "$CI_TMP/det-pool.jsonl"   --workers 2 >/dev/null
-  _compare_stores "$CI_TMP/det-serial.jsonl" "$CI_TMP/det-rerun.jsonl" "rerun (1 worker vs 1 worker)"
-  _compare_stores "$CI_TMP/det-serial.jsonl" "$CI_TMP/det-pool.jsonl"  "worker count (1 vs 2)"
+  python -m repro.cli sweep "${det_args[@]}" --store "$CI_TMP/det-serial.jsonl" --workers 1 --trace "$CI_TMP/det-serial-traces" >/dev/null
+  python -m repro.cli sweep "${det_args[@]}" --store "$CI_TMP/det-rerun.jsonl"  --workers 1 --trace "$CI_TMP/det-rerun-traces"  >/dev/null
+  python -m repro.cli sweep "${det_args[@]}" --store "$CI_TMP/det-pool.jsonl"   --workers 2 --trace "$CI_TMP/det-pool-traces"   >/dev/null
+  _compare_stores "$CI_TMP/det-serial.jsonl" "$CI_TMP/det-rerun.jsonl" "rerun (1 worker vs 1 worker)" \
+      "$CI_TMP/det-serial-traces" "$CI_TMP/det-rerun-traces"
+  _compare_stores "$CI_TMP/det-serial.jsonl" "$CI_TMP/det-pool.jsonl"  "worker count (1 vs 2)" \
+      "$CI_TMP/det-serial-traces" "$CI_TMP/det-pool-traces"
 
   # Arena-engine equivalence cell: the batched (N, d) engine must reproduce
   # the per-node engine's result payloads exactly.  The seed is pinned
@@ -176,7 +233,7 @@ stage_checkpoint() {
   # (workers checkpoint their in-flight cells), resume, byte-compare.
   local ck_args=(--workload movielens --scheme jwins full-sharing
                  --nodes 6 --degree 2 --rounds 300 --seeds 1)
-  python -m repro.cli sweep "${ck_args[@]}" --store "$CI_TMP/ck-ref.jsonl" --workers 1 >/dev/null
+  python -m repro.cli sweep "${ck_args[@]}" --store "$CI_TMP/ck-ref.jsonl" --workers 1 --trace "$CI_TMP/ck-ref-traces" >/dev/null
 
   python -m repro.cli sweep "${ck_args[@]}" --store "$CI_TMP/ck-intr.jsonl" \
       --workers 2 --checkpoint-dir "$CI_TMP/ckpts" >"$CI_TMP/ck-intr.log" 2>&1 &
@@ -197,9 +254,12 @@ stage_checkpoint() {
   else
     echo "checkpoint gate: sweep finished before the SIGINT landed (still comparing)"
   fi
+  # The resume leg traces too: on a byte mismatch the forensic diff names the
+  # exact record where the resumed run departs from the uninterrupted one.
   python -m repro.cli sweep "${ck_args[@]}" --store "$CI_TMP/ck-intr.jsonl" \
-      --workers 2 --checkpoint-dir "$CI_TMP/ckpts" >/dev/null
-  _compare_stores "$CI_TMP/ck-ref.jsonl" "$CI_TMP/ck-intr.jsonl" "interrupt/resume"
+      --workers 2 --checkpoint-dir "$CI_TMP/ckpts" --trace "$CI_TMP/ck-resume-traces" >/dev/null
+  _compare_stores "$CI_TMP/ck-ref.jsonl" "$CI_TMP/ck-intr.jsonl" "interrupt/resume" \
+      "$CI_TMP/ck-ref-traces" "$CI_TMP/ck-resume-traces"
 
   # New-subcommand smokes: the expansion preview leaves no store behind, and
   # compaction collapses a --force re-run to one row per cell.
@@ -216,10 +276,14 @@ stage_fuzz() {
   # fixed seed keeps the smoke reproducible; a failure prints the minimal
   # failing schedule as JSON replayable with `--replay`.
   python -m repro.scenarios.fuzz --cases 10 --seed 0
-  # The alarm itself must ring: inject nondeterminism into the byzantine
-  # send path and require a caught, shrunken failure.
-  python -m repro.scenarios.fuzz --self-test --cases 1 --seed 0 >/dev/null
-  echo "fuzz gate: 10 hostile schedules passed all 4 oracles; self-test caught the injected bug"
+  # The alarm itself must ring, and the forensics must root-cause it: inject
+  # nondeterminism into the byzantine send path, require a caught, shrunken
+  # failure AND a forensic trace diff naming the divergent round and field.
+  local selftest_out
+  selftest_out="$(python -m repro.scenarios.fuzz --self-test --cases 1 --seed 0)"
+  grep -q "forensics localized the divergence to round" <<<"$selftest_out"
+  grep -q "first divergent record" <<<"$selftest_out"
+  echo "fuzz gate: 10 hostile schedules passed all 4 oracles; self-test caught and root-caused the injected bug"
 }
 
 ALL_STAGES=(lint analysis docs test bench perf smoke determinism checkpoint fuzz)

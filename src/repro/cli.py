@@ -61,7 +61,16 @@ from repro.orchestration import (
     run_fork,
     run_sweep,
 )
-from repro.observability import MetricsRegistry, TraceEmitter, summarize_trace
+from repro.observability import (
+    MetricsRegistry,
+    StatusBoard,
+    TraceEmitter,
+    diff_traces,
+    summarize_trace,
+    summarize_trace_dir,
+    watch_status,
+)
+from repro.orchestration.fork import build_forked_spec
 from repro.simulation import run_experiment
 from repro.utils.profiling import Profiler, format_profile
 from repro.version import __version__
@@ -70,7 +79,7 @@ __all__ = ["build_cli_parser", "build_parser", "main", "scheme_factory_from_name
 
 SCHEME_CHOICES = available_schemes()
 
-SUBCOMMANDS = ("run", "sweep", "regenerate", "fork", "store", "trace")
+SUBCOMMANDS = ("run", "sweep", "regenerate", "fork", "store", "trace", "top")
 
 #: Exit code of a run/sweep that checkpointed itself after an interrupt
 #: (mirrors the conventional 128 + SIGINT).
@@ -196,6 +205,14 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         help="write a structured JSONL event trace (manifest, rounds, "
         "messages, evaluations, checkpoints) to PATH; schemes of one "
         "invocation share the file, back to back",
+    )
+    parser.add_argument(
+        "--status",
+        default=None,
+        metavar="DIR",
+        help="write an atomically updated status.json heartbeat into DIR "
+        "(per-scheme progress, rounds/sec, ETA); watch it live with "
+        "`jwins-repro top DIR` (telemetry only; results are unaffected)",
     )
     parser.add_argument(
         "--checkpoint-every",
@@ -378,6 +395,15 @@ def build_cli_parser() -> argparse.ArgumentParser:
         help="write one <spec hash>.trace.jsonl per executed cell into DIR "
         "(per-cell files keep traces stable across worker counts)",
     )
+    sweep_parser.add_argument(
+        "--status",
+        default=None,
+        metavar="DIR",
+        help="write an atomically updated status.json heartbeat into DIR: "
+        "per-cell state, round progress, rounds/sec, ETA, worker pid and "
+        "last checkpoint round, from both the serial and the pool path; "
+        "watch it live with `jwins-repro top DIR`",
+    )
     sweep_parser.set_defaults(handler=_sweep_command)
 
     fork_parser = subparsers.add_parser(
@@ -437,20 +463,69 @@ def build_cli_parser() -> argparse.ArgumentParser:
         "--trace",
         default=None,
         metavar="PATH",
-        help="write the forked run's JSONL event trace to PATH",
+        help="write the forked run's JSONL event trace to PATH; when PATH is "
+        "an existing directory (e.g. the parent sweep's --trace dir) the file "
+        "is named <forked spec hash>.trace.jsonl, which can never collide "
+        "with the parent cell's trace",
+    )
+    fork_parser.add_argument(
+        "--status",
+        default=None,
+        metavar="DIR",
+        help="write an atomically updated status.json heartbeat for the "
+        "forked run into DIR (watch with `jwins-repro top DIR`)",
     )
     fork_parser.set_defaults(handler=_fork_command)
 
     trace_parser = subparsers.add_parser(
-        "trace", help="inspect a JSONL run trace written by --trace"
+        "trace", help="inspect and compare JSONL run traces written by --trace"
     )
     trace_parser.add_argument(
         "action",
-        choices=("summarize",),
-        help="summarize: per-run, per-phase and per-node rollups of a trace file",
+        choices=("summarize", "diff"),
+        help="summarize: per-run, per-phase and per-node rollups of a trace "
+        "file, or a cross-cell rollup of a sweep trace directory; diff: "
+        "structural comparison of two wall-stripped traces with first-"
+        "divergence localization and a causal backtrace",
     )
-    trace_parser.add_argument("path", help="trace file to read")
+    trace_parser.add_argument(
+        "path", help="trace file (or, for summarize, a sweep trace directory)"
+    )
+    trace_parser.add_argument(
+        "path_b",
+        nargs="?",
+        default=None,
+        help="second trace file (diff only)",
+    )
+    trace_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="diff: emit the forensic report as JSON instead of text",
+    )
     trace_parser.set_defaults(handler=_trace_command)
+
+    top_parser = subparsers.add_parser(
+        "top",
+        help="watch a sweep's status.json heartbeat as a refreshing table",
+    )
+    top_parser.add_argument(
+        "dir",
+        help="the --status directory of a running (or finished) sweep, or a "
+        "status.json path",
+    )
+    top_parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period (default: 2.0)",
+    )
+    top_parser.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (no screen clearing)",
+    )
+    top_parser.set_defaults(handler=_top_command)
 
     store_parser = subparsers.add_parser(
         "store", help="maintain a JSONL result store"
@@ -685,10 +760,39 @@ def _run_command(args: argparse.Namespace) -> int:
     results = {}
     metrics = MetricsRegistry() if args.metrics else None
     trace = TraceEmitter(args.trace) if args.trace is not None else None
+    board = None
+    run_keys: dict = {}
+    if args.status is not None:
+        # Key the heartbeat cells by the spec hash each scheme run is
+        # equivalent to, so `run` and `sweep` status files read the same way.
+        board = StatusBoard(
+            args.status, sweep_name=f"run:{args.workload}", workers=1
+        )
+        for scheme_name in args.scheme:
+            run_keys[scheme_name] = _spec_for_run(
+                args, scheme_name, overrides
+            ).content_hash()
+        board.register_cells(
+            [
+                (run_keys[name], f"{args.workload}/{name}", config.rounds)
+                for name in args.scheme
+            ]
+        )
+        board.start_auto_refresh()
+    final_state = "failed"
     try:
         for scheme_name in args.scheme:
             print(f"running {scheme_name} ...")
             profiler = Profiler() if args.profile else None
+            heartbeat = (
+                None
+                if board is None
+                else board.heartbeat_for(
+                    run_keys[scheme_name],
+                    total_rounds=config.rounds,
+                    registry=metrics,
+                )
+            )
             if checkpointing:
                 spec = _spec_for_run(args, scheme_name, overrides)
                 snapshot = None
@@ -713,9 +817,13 @@ def _run_command(args: argparse.Namespace) -> int:
                         profiler=profiler,
                         metrics=metrics,
                         trace=trace,
+                        heartbeat=heartbeat,
                     )
                 except ExperimentPaused as paused:
                     round_index = paused.snapshot.rounds_completed
+                    if board is not None:
+                        board.mark_paused(run_keys[scheme_name], int(round_index))
+                        final_state = "interrupted"
                     if args.checkpoint_dir is not None:
                         path = CheckpointManager(args.checkpoint_dir).path_for(
                             spec.content_hash()
@@ -743,12 +851,15 @@ def _run_command(args: argparse.Namespace) -> int:
                         profiler=profiler,
                         metrics=metrics,
                         trace=trace,
+                        heartbeat=heartbeat,
                     )
                 except ReproError as error:
                     # e.g. a scenario whose topology generator cannot fit the
                     # deployment — undefined setups exit cleanly, never a traceback.
                     raise SystemExit(f"cannot run {scheme_name}: {error}")
             results[scheme_name] = result
+            if board is not None:
+                board.mark_done(run_keys[scheme_name], result.rounds_completed)
             if profiler is not None:
                 print(f"\n[{scheme_name} profile]")
                 print(
@@ -757,9 +868,12 @@ def _run_command(args: argparse.Namespace) -> int:
                     )
                 )
                 print()
+        final_state = "done"
     finally:
         if trace is not None:
             trace.close()
+        if board is not None:
+            board.finalize(final_state)
 
     print()
     print(summarize_results(results))
@@ -913,6 +1027,7 @@ def _sweep_command(args: argparse.Namespace) -> int:
             profile=args.profile,
             metrics=metrics,
             trace_dir=args.trace,
+            status_dir=args.status,
         )
     except ConfigurationError as error:
         # e.g. an unknown --scale field, which only surfaces when a cell's
@@ -948,7 +1063,33 @@ def _fork_command(args: argparse.Namespace) -> int:
         ).to_dict()
     profiler = Profiler() if args.profile else None
     metrics = MetricsRegistry() if args.metrics else None
-    trace = TraceEmitter(args.trace) if args.trace is not None else None
+    trace = None
+    trace_dir = None
+    if args.trace is not None:
+        if Path(args.trace).is_dir():
+            # A directory (typically the parent sweep's --trace dir): let
+            # run_fork name the file after the *forked* spec's hash so the
+            # parent cell's trace is never overwritten.
+            trace_dir = args.trace
+        else:
+            trace = TraceEmitter(args.trace)
+    board = None
+    heartbeat = None
+    fork_key = None
+    if args.status is not None:
+        try:
+            forked = build_forked_spec(snapshot, mutations)
+        except ReproError as error:
+            raise SystemExit(f"cannot fork: {error}")
+        fork_key = forked.content_hash()
+        total = forked.overrides.get("rounds", snapshot.config.get("rounds"))
+        board = StatusBoard(args.status, sweep_name="fork", workers=1)
+        board.register_cells(
+            [(fork_key, forked.label, None if total is None else int(total))]
+        )
+        board.start_auto_refresh()
+        heartbeat = board.heartbeat_for(fork_key, registry=metrics)
+    final_state = "failed"
     try:
         spec, result = run_fork(
             snapshot,
@@ -958,8 +1099,16 @@ def _fork_command(args: argparse.Namespace) -> int:
             profiler=profiler,
             metrics=metrics,
             trace=trace,
+            trace_dir=trace_dir,
+            heartbeat=heartbeat,
         )
+        final_state = "done"
+        if board is not None:
+            board.mark_done(fork_key, result.rounds_completed)
     except ExperimentPaused as paused:
+        if board is not None:
+            board.mark_paused(fork_key, int(paused.snapshot.rounds_completed))
+            final_state = "interrupted"
         print(f"paused forked run at round {paused.snapshot.rounds_completed}")
         return PAUSED_EXIT_CODE
     except ReproError as error:
@@ -967,12 +1116,19 @@ def _fork_command(args: argparse.Namespace) -> int:
     finally:
         if trace is not None:
             trace.close()
+        if board is not None:
+            board.finalize(final_state)
     lineage = spec.lineage or {}
     print(
         f"forked {spec.label} from round {lineage.get('round', snapshot.rounds_completed)}: "
         f"parent spec {str(lineage.get('parent', ''))[:12]}... -> "
         f"forked spec {spec.content_hash()[:12]}..."
     )
+    if trace_dir is not None:
+        print(
+            f"trace written to "
+            f"{Path(trace_dir) / (spec.content_hash() + '.trace.jsonl')}"
+        )
     if args.store is not None:
         store = ResultStore(args.store)
         store.put(spec, result)
@@ -996,11 +1152,33 @@ def _trace_command(args: argparse.Namespace) -> int:
     path = Path(args.path)
     if not path.exists():
         raise SystemExit(f"trace {args.path!r} does not exist")
+    if args.action == "summarize":
+        if args.path_b is not None:
+            raise SystemExit("trace summarize takes a single path")
+        try:
+            print(summarize_trace_dir(path) if path.is_dir() else summarize_trace(path))
+        except (OSError, json.JSONDecodeError) as error:
+            raise SystemExit(f"cannot summarize trace {args.path!r}: {error}")
+        return 0
+    # diff
+    if args.path_b is None:
+        raise SystemExit("trace diff compares two traces: trace diff A B")
+    path_b = Path(args.path_b)
+    if not path_b.exists():
+        raise SystemExit(f"trace {args.path_b!r} does not exist")
     try:
-        print(summarize_trace(path))
+        report = diff_traces(path, path_b)
     except (OSError, json.JSONDecodeError) as error:
-        raise SystemExit(f"cannot summarize trace {args.path!r}: {error}")
-    return 0
+        raise SystemExit(f"cannot diff traces: {error}")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.identical else 1
+
+
+def _top_command(args: argparse.Namespace) -> int:
+    return watch_status(args.dir, interval=args.interval, once=args.once)
 
 
 def _store_command(args: argparse.Namespace) -> int:

@@ -1,4 +1,4 @@
-"""Run telemetry: metrics, structured traces, and memory tracking.
+"""Run telemetry: metrics, structured traces, memory tracking, forensics, status.
 
 ``repro.observability`` is the measurement substrate of the reproduction —
 the paper's headline claims are resource claims (bytes on the wire,
@@ -13,6 +13,13 @@ live instead of only through the final result object:
   one record per round/message/evaluation/checkpoint event, wall-clock
   fields segregated under each record's ``"wall"`` key so a
   timestamp-stripped trace is byte-stable across reruns;
+* :mod:`~repro.observability.forensics` — the structural trace differ
+  (:func:`diff_traces`) that localizes the first divergent event of a
+  broken replay, with per-field numeric drift and a causal backtrace of the
+  deliveries feeding the divergent round;
+* :mod:`~repro.observability.status` — the atomically rewritten
+  ``status.json`` heartbeat (:class:`StatusBoard` / per-cell
+  :class:`CellStatusWriter`) behind ``--status`` and ``jwins-repro top``;
 * :mod:`~repro.observability.memory` — peak-RSS and optional tracemalloc
   top-N attribution for profiled runs;
 * :mod:`~repro.observability.contract` — the scrub the result store applies
@@ -24,6 +31,7 @@ analysis rule).
 """
 
 from repro.observability.contract import TELEMETRY_RESULT_FIELDS, scrub_telemetry
+from repro.observability.forensics import FieldDrift, TraceDiff, diff_traces
 from repro.observability.memory import MemoryTracker, peak_rss_bytes
 from repro.observability.metrics import (
     NULL_METRICS,
@@ -33,26 +41,43 @@ from repro.observability.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from repro.observability.status import (
+    CellStatusWriter,
+    StatusBoard,
+    load_status,
+    render_status,
+    watch_status,
+)
 from repro.observability.trace import (
     TraceEmitter,
     read_trace,
     strip_wall,
     summarize_trace,
+    summarize_trace_dir,
 )
 
 __all__ = [
+    "CellStatusWriter",
     "Counter",
+    "FieldDrift",
     "Gauge",
     "Histogram",
     "MemoryTracker",
     "MetricsRegistry",
     "NULL_METRICS",
     "NullMetricsRegistry",
+    "StatusBoard",
     "TELEMETRY_RESULT_FIELDS",
+    "TraceDiff",
     "TraceEmitter",
+    "diff_traces",
+    "load_status",
     "peak_rss_bytes",
     "read_trace",
+    "render_status",
     "scrub_telemetry",
     "strip_wall",
     "summarize_trace",
+    "summarize_trace_dir",
+    "watch_status",
 ]

@@ -33,6 +33,7 @@ __all__ = [
     "read_trace",
     "strip_wall",
     "summarize_trace",
+    "summarize_trace_dir",
 ]
 
 #: Record key every non-deterministic field must live under.
@@ -261,4 +262,66 @@ def summarize_trace(path: str | Path) -> str:
         peak_rss = (run_end or {}).get(WALL_KEY, {}).get("peak_rss_bytes")
         if peak_rss:
             lines.append(f"  peak_rss: {peak_rss / (1024 * 1024):.1f} MiB")
+    return "\n".join(lines)
+
+
+def summarize_trace_dir(path: str | Path) -> str:
+    """Cross-cell rollup of a sweep's trace directory (``*.trace.jsonl``).
+
+    ``run_sweep(trace_dir=...)`` writes one ``<spec hash>.trace.jsonl`` per
+    executed cell; this renders the whole directory as one table — per cell:
+    record counts, rounds completed, total simulated bytes and the final
+    accuracy — so a sweep's traces are inspectable without summarizing each
+    file by hand.
+    """
+
+    directory = Path(path)
+    trace_files = sorted(directory.glob("*.trace.jsonl"))
+    if not trace_files:
+        return f"no *.trace.jsonl files in {directory}"
+
+    rows = []
+    totals = {"records": 0, "messages": 0, "bytes": 0.0}
+    for trace_file in trace_files:
+        records = read_trace(trace_file)
+        manifest = records[0] if records and records[0].get("kind") == "manifest" else {}
+        messages = sum(1 for record in records if record.get("kind") == "message")
+        run_end = next(
+            (record for record in reversed(records) if record.get("kind") == "run_end"),
+            {},
+        )
+        evaluations = [record for record in records if record.get("kind") == "evaluate"]
+        final_accuracy = (
+            f"{evaluations[-1].get('accuracy'):.4f}" if evaluations else "-"
+        )
+        total_bytes = run_end.get("total_bytes", 0.0) or 0.0
+        rows.append(
+            (
+                trace_file.name[:20],
+                str(manifest.get("scheme", "?")),
+                str(manifest.get("seed", "?")),
+                len(records),
+                run_end.get("rounds_completed", "?"),
+                messages,
+                int(total_bytes),
+                final_accuracy,
+            )
+        )
+        totals["records"] += len(records)
+        totals["messages"] += messages
+        totals["bytes"] += float(total_bytes)
+
+    lines = [f"trace dir: {directory}  ({len(trace_files)} cell trace(s))", ""]
+    lines.extend(
+        _rollup_rows(
+            "per-cell:",
+            ("trace", "scheme", "seed", "records", "rounds", "messages", "bytes", "final_acc"),
+            rows,
+        )
+    )
+    lines.append("")
+    lines.append(
+        f"totals: records={totals['records']} messages={totals['messages']} "
+        f"bytes={int(totals['bytes'])}"
+    )
     return "\n".join(lines)

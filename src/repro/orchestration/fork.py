@@ -19,16 +19,18 @@ Identity rules, pinned by tests:
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.exceptions import CheckpointError, ConfigurationError
+from repro.observability.trace import TraceEmitter
 from repro.orchestration.spec import ExperimentSpec
 from repro.simulation import ExperimentResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.checkpoint.snapshot import SimulationSnapshot
     from repro.observability.metrics import MetricsRegistry
-    from repro.observability.trace import TraceEmitter
+    from repro.observability.status import CellStatusWriter
     from repro.utils.profiling import Profiler
 
 __all__ = ["build_forked_spec", "run_fork"]
@@ -88,24 +90,46 @@ def run_fork(
     profiler: "Profiler | None" = None,
     metrics: "MetricsRegistry | None" = None,
     trace: "TraceEmitter | None" = None,
+    trace_dir: "str | Path | None" = None,
+    heartbeat: "CellStatusWriter | None" = None,
 ) -> tuple[ExperimentSpec, ExperimentResult]:
     """Fork ``snapshot`` under ``mutations`` and run the future to completion.
 
     Returns the forked spec (hash-distinct from the parent whenever lineage
     or mutations differ) together with its result.  The forked run is itself
     checkpointable via ``checkpoint_dir``/``checkpoint_every``; ``profiler``,
-    ``metrics`` and ``trace`` attach run telemetry exactly as on a plain run
-    (and stay outside the determinism contract).
+    ``metrics``, ``trace`` and ``heartbeat`` attach run telemetry exactly as
+    on a plain run (and stay outside the determinism contract).
+
+    ``trace_dir`` derives the trace path from the **forked** spec's content
+    hash (``<forked hash>.trace.jsonl``), exactly like ``run_sweep`` names
+    per-cell traces.  Because lineage participates in the hash, a fork traced
+    into its parent sweep's trace directory can never silently overwrite the
+    parent cell's trace file.  ``trace`` and ``trace_dir`` are mutually
+    exclusive (an explicit emitter already has a path).
     """
 
+    if trace is not None and trace_dir is not None:
+        raise ConfigurationError(
+            "pass either an explicit trace emitter or a trace_dir, not both"
+        )
     spec = build_forked_spec(snapshot, mutations)
-    result = spec.run(
-        checkpoint_dir=checkpoint_dir,
-        checkpoint_every=checkpoint_every,
-        snapshot=snapshot,
-        verify_spec=False,
-        profiler=profiler,
-        metrics=metrics,
-        trace=trace,
-    )
+    owns_trace = False
+    if trace_dir is not None:
+        trace = TraceEmitter(Path(trace_dir) / f"{spec.content_hash()}.trace.jsonl")
+        owns_trace = True
+    try:
+        result = spec.run(
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            snapshot=snapshot,
+            verify_spec=False,
+            profiler=profiler,
+            metrics=metrics,
+            trace=trace,
+            heartbeat=heartbeat,
+        )
+    finally:
+        if owns_trace and trace is not None:
+            trace.close()
     return spec, result

@@ -34,8 +34,10 @@ from pathlib import Path
 from typing import Any, Sequence
 
 from repro.checkpoint import preemption
-from repro.exceptions import ExperimentPaused
+from repro.evaluation.workloads import get_workload
+from repro.exceptions import ConfigurationError, ExperimentPaused
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.status import CellStatusWriter, StatusBoard
 from repro.observability.trace import TraceEmitter
 from repro.orchestration.spec import ExperimentSpec
 from repro.orchestration.store import ResultStore
@@ -121,6 +123,38 @@ def _cell_trace(trace_dir: str | None, key: str) -> TraceEmitter | None:
     return TraceEmitter(Path(trace_dir) / f"{key}.trace.jsonl")
 
 
+def _spec_total_rounds(spec: ExperimentSpec) -> int | None:
+    """The cell's round budget, for status progress/ETA reporting only.
+
+    Read from the overrides (or the workload's default config) without
+    materializing the task, so computing it cannot perturb the run.
+    """
+
+    rounds = spec.overrides.get("rounds")
+    if rounds is not None:
+        return int(rounds)
+    try:
+        return int(get_workload(spec.workload).config.rounds)
+    except ConfigurationError:  # pragma: no cover - spec validated at build
+        return None
+
+
+def _cell_heartbeat(
+    status_dir: str | None, spec: ExperimentSpec, registry: MetricsRegistry | None
+) -> CellStatusWriter | None:
+    """The started per-cell status heartbeat, or ``None`` when status is off."""
+
+    if status_dir is None:
+        return None
+    return CellStatusWriter(
+        status_dir,
+        spec.content_hash(),
+        total_rounds=_spec_total_rounds(spec),
+        label=spec.label,
+        registry=registry,
+    ).start()
+
+
 def _execute_spec_task(
     task: tuple[dict[str, Any], str | None, int, dict[str, Any]],
 ) -> tuple[str, dict[str, Any]]:
@@ -142,6 +176,7 @@ def _execute_spec_task(
     profiler = Profiler() if telemetry.get("profile") else None
     registry = MetricsRegistry() if telemetry.get("metrics") else None
     trace = _cell_trace(telemetry.get("trace_dir"), key)
+    heartbeat = _cell_heartbeat(telemetry.get("status_dir"), spec, registry)
     try:
         result = spec.run(
             checkpoint_dir=checkpoint_dir,
@@ -149,6 +184,7 @@ def _execute_spec_task(
             profiler=profiler,
             metrics=registry,
             trace=trace,
+            heartbeat=heartbeat,
         )
     except ExperimentPaused as paused:
         payload: dict[str, Any] = {
@@ -193,6 +229,7 @@ def run_sweep(
     profile: bool = False,
     metrics: MetricsRegistry | None = None,
     trace_dir: str | Path | None = None,
+    status_dir: str | Path | None = None,
 ) -> SweepOutcome:
     """Execute every cell of ``sweep`` that the store does not already hold.
 
@@ -235,6 +272,13 @@ def run_sweep(
         Directory receiving one ``<spec hash>.trace.jsonl`` per executed
         cell.  Per-cell files keep stripped traces byte-identical across
         worker counts (a shared file would interleave nondeterministically).
+    status_dir:
+        Directory receiving an atomically rewritten ``status.json`` heartbeat
+        (see :mod:`repro.observability.status`): per-cell state, current
+        round/total, rounds/sec, ETA, worker pid, last checkpoint round and
+        a merged live metrics snapshot, updated from both the serial and the
+        pool path.  Render it live with ``jwins-repro top <dir>``.  Pure
+        wall-side telemetry — RNG order and stored bytes are unaffected.
     """
 
     if isinstance(sweep, Sweep):
@@ -252,6 +296,21 @@ def run_sweep(
         raise ValueError("workers must be >= 1")
 
     outcome = SweepOutcome(name=name, specs=specs, labels=labels)
+
+    board: StatusBoard | None = None
+    if status_dir is not None:
+        registered: dict[str, tuple[str, str, int | None]] = {}
+        for spec in specs:
+            key = spec.content_hash()
+            if key not in registered:
+                registered[key] = (
+                    key,
+                    labels.get(key, spec.label),
+                    _spec_total_rounds(spec),
+                )
+        board = StatusBoard(status_dir, sweep_name=name, workers=workers)
+        board.register_cells(list(registered.values()))
+
     pending: list[ExperimentSpec] = []
     pending_keys: set[str] = set()
     for spec in specs:
@@ -265,6 +324,8 @@ def run_sweep(
             outcome.results[key] = stored
             outcome.skipped.append(spec)
             observer.on_skip(spec, stored)
+            if board is not None:
+                board.mark_skipped(key)
         else:
             pending.append(spec)
             pending_keys.add(key)
@@ -277,14 +338,22 @@ def run_sweep(
         outcome.results[spec.content_hash()] = result
         outcome.executed.append(spec)
         observer.on_result(spec, result)
+        if board is not None:
+            board.mark_done(spec.content_hash(), result.rounds_completed)
 
     preemptible = checkpoint_dir is not None
     telemetry = {
         "profile": profile,
-        "metrics": metrics is not None,
+        # Cells record into a registry whenever either consumer wants it: the
+        # caller's merged registry or the status board's live snapshot.
+        "metrics": metrics is not None or board is not None,
         "trace_dir": None if trace_dir is None else str(trace_dir),
+        "status_dir": None if status_dir is None else str(status_dir),
     }
+    if board is not None:
+        board.start_auto_refresh()
     previous_handler = preemption.install_preemption_handler() if preemptible else None
+    failed = False
     try:
         if workers == 1 or len(pending) <= 1:
             for spec in pending:
@@ -294,8 +363,9 @@ def run_sweep(
                 observer.on_start(spec)
                 # Per-cell registry even in-process, so gauges merge with the
                 # same max semantics a pool run uses.
-                registry = MetricsRegistry() if metrics is not None else None
+                registry = MetricsRegistry() if telemetry["metrics"] else None
                 trace = _cell_trace(telemetry["trace_dir"], spec.content_hash())
+                heartbeat = _cell_heartbeat(telemetry["status_dir"], spec, registry)
                 try:
                     result = spec.run(
                         checkpoint_dir=checkpoint_dir,
@@ -303,17 +373,25 @@ def run_sweep(
                         profiler=Profiler() if profile else None,
                         metrics=registry,
                         trace=trace,
+                        heartbeat=heartbeat,
                     )
                 except ExperimentPaused as paused:
                     outcome.paused.append(spec)
                     outcome.interrupted = True
                     observer.on_pause(spec, int(paused.snapshot.rounds_completed))
+                    if board is not None:
+                        board.mark_paused(
+                            spec.content_hash(), int(paused.snapshot.rounds_completed)
+                        )
                     break
                 finally:
                     if trace is not None:
                         trace.close()
                     if registry is not None:
-                        metrics.merge(registry)
+                        if metrics is not None:
+                            metrics.merge(registry)
+                        if board is not None:
+                            board.merge_metrics(registry)
                 record(spec, result.to_dict())
         else:
             by_key = {spec.content_hash(): spec for spec in pending}
@@ -349,18 +427,32 @@ def run_sweep(
                 for key, payload in pool.imap(_execute_spec_task, tasks):
                     spec = by_key[key]
                     status = payload["status"]
-                    if metrics is not None and "metrics" in payload:
-                        metrics.merge(payload["metrics"])
+                    if "metrics" in payload:
+                        if metrics is not None:
+                            metrics.merge(payload["metrics"])
+                        if board is not None:
+                            board.merge_metrics(payload["metrics"])
                     if status == "done":
                         record(spec, payload["result"])
                     elif status == "paused":
                         outcome.paused.append(spec)
                         outcome.interrupted = True
                         observer.on_pause(spec, int(payload["rounds_completed"]))
+                        if board is not None:
+                            board.mark_paused(key, int(payload["rounds_completed"]))
                     else:  # preempted before start
                         outcome.interrupted = True
+    except BaseException:
+        failed = True
+        raise
     finally:
         if preemptible:
             preemption.restore_handler(previous_handler)
             preemption.reset()
+        if board is not None:
+            board.finalize(
+                "failed"
+                if failed
+                else ("interrupted" if outcome.interrupted else "done")
+            )
     return outcome

@@ -39,6 +39,7 @@ from repro.simulation.timing import time_model_from_dict
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.checkpoint.snapshot import SimulationSnapshot
     from repro.observability.metrics import MetricsRegistry
+    from repro.observability.status import CellStatusWriter
     from repro.observability.trace import TraceEmitter
     from repro.utils.profiling import Profiler
 
@@ -198,6 +199,7 @@ class ExperimentSpec:
         profiler: "Profiler | None" = None,
         metrics: "MetricsRegistry | None" = None,
         trace: "TraceEmitter | None" = None,
+        heartbeat: "CellStatusWriter | None" = None,
     ) -> ExperimentResult:
         """Execute this cell and return its result.
 
@@ -211,9 +213,9 @@ class ExperimentSpec:
         snapshot-belongs-to-this-spec check (the ``fork`` workflow, which
         replays a parent spec's snapshot under a mutated config).
 
-        ``profiler``, ``metrics`` and ``trace`` attach the telemetry layer
-        (see :mod:`repro.observability`); all three stay outside the
-        determinism contract.
+        ``profiler``, ``metrics``, ``trace`` and ``heartbeat`` attach the
+        telemetry layer (see :mod:`repro.observability`); all four stay
+        outside the determinism contract.
         """
 
         task, factory, config, _ = self.build()
@@ -228,6 +230,7 @@ class ExperimentSpec:
                 spec=self.to_dict(),
                 metrics=metrics,
                 trace=trace,
+                heartbeat=heartbeat,
             )
 
         from repro.checkpoint.manager import CheckpointManager
@@ -272,4 +275,5 @@ class ExperimentSpec:
             spec=self.to_dict(),
             metrics=metrics,
             trace=trace,
+            heartbeat=heartbeat,
         )

@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.checkpoint.snapshot import SimulationSnapshot
 from repro.exceptions import ExperimentPaused
+from repro.observability.forensics import TraceDiff, diff_traces
 from repro.observability.trace import TraceEmitter, strip_wall
 from repro.orchestration.pool import run_sweep
 from repro.orchestration.spec import ExperimentSpec
@@ -62,6 +63,7 @@ from repro.utils.rng import derive_rng
 __all__ = [
     "ORACLES",
     "FuzzCase",
+    "forensics_for_case",
     "generate_case",
     "install_chaos",
     "main",
@@ -509,6 +511,69 @@ def install_chaos() -> Callable[[], None]:
     return uninstall
 
 
+# -- forensics ---------------------------------------------------------------------
+def forensics_for_case(
+    case: FuzzCase,
+    workload: str = DEFAULT_WORKLOAD,
+    scheme: str = DEFAULT_SCHEME,
+    oracle: str = "rerun",
+) -> TraceDiff | None:
+    """Root-cause a failing case: re-run it with tracing on and diff the traces.
+
+    For the ``workers`` oracle the serial and 2-worker sweeps are repeated
+    with per-cell trace directories and the first divergent cell's traces are
+    compared; every other oracle re-executes the spec twice with an attached
+    :class:`~repro.observability.trace.TraceEmitter` (whatever run-order
+    dependent state broke the oracle breaks the second traced run the same
+    way).  Returns the forensic :class:`TraceDiff` — first divergent record,
+    per-field drift and causal backtrace — or ``None`` when the traced
+    re-execution did not diverge (a failure specific to the oracle's own
+    path, e.g. snapshot serialization, which traces cannot see).
+    """
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        if oracle == "workers":
+            specs = [
+                case.spec(workload, scheme),
+                case.spec(workload, scheme, seed_offset=1),
+            ]
+            serial_dir, pool_dir = tmp_path / "serial", tmp_path / "pool"
+            run_sweep(
+                specs, ResultStore(tmp_path / "serial.jsonl"), workers=1,
+                trace_dir=serial_dir,
+            )
+            run_sweep(
+                specs, ResultStore(tmp_path / "pool.jsonl"), workers=2,
+                trace_dir=pool_dir,
+            )
+            for spec in specs:
+                name = f"{spec.content_hash()}.trace.jsonl"
+                a, b = serial_dir / name, pool_dir / name
+                if not (a.exists() and b.exists()):
+                    continue
+                diff = diff_traces(
+                    a, b,
+                    a_label=f"serial:{name[:12]}",
+                    b_label=f"pool:{name[:12]}",
+                )
+                if not diff.identical:
+                    return diff
+            return None
+        spec = case.spec(workload, scheme)
+        paths = []
+        for attempt in range(2):
+            path = tmp_path / f"attempt-{attempt}.trace.jsonl"
+            emitter = TraceEmitter(path)
+            try:
+                spec.run(trace=emitter)
+            finally:
+                emitter.close()
+            paths.append(path)
+        diff = diff_traces(paths[0], paths[1], a_label="run-1", b_label="run-2")
+        return None if diff.identical else diff
+
+
 # -- runner ------------------------------------------------------------------------
 def _failure_report(
     seed: int, case: FuzzCase, oracle: str, detail: str, workload: str, scheme: str
@@ -544,8 +609,19 @@ def _fuzz(args: argparse.Namespace) -> int:
 
         shrunk = shrink_case(case, still_fails)
         report = _failure_report(args.seed, shrunk, oracle, detail, args.workload, args.scheme)
+        diff = forensics_for_case(shrunk, args.workload, args.scheme, oracle)
+        if diff is not None:
+            report["forensics"] = diff.to_dict()
         print(f"case {index:3d}: FAILED   {case.summary}")
         print(f"oracle {oracle!r}: {detail}")
+        if diff is not None:
+            print("forensic trace diff (first divergence, shrunk case):")
+            print(diff.render())
+        else:
+            print(
+                "forensics: traced re-execution did not diverge; the failure is "
+                f"specific to the {oracle!r} oracle's path (not visible in traces)"
+            )
         print("minimal failing case (JSON, replayable with --replay):")
         print(json.dumps(report, indent=2, sort_keys=True))
         if args.report:
@@ -577,11 +653,24 @@ def _self_test(args: argparse.Namespace) -> int:
             if not shrunk.schedule.byzantine:
                 print("self-test: shrinking removed the byzantine window the bug needs")
                 return 1
+            diff = forensics_for_case(shrunk, args.workload, args.scheme, "rerun")
+            if diff is None or diff.round is None:
+                print(
+                    "self-test: forensics failed to localize the injected "
+                    "divergence to a round"
+                )
+                return 1
             report = _failure_report(
                 args.seed, shrunk, "rerun", detail, args.workload, args.scheme
             )
+            report["forensics"] = diff.to_dict()
             print(f"self-test case {index}: caught and shrunk to:")
             print(json.dumps(report, indent=2, sort_keys=True))
+            print(
+                f"self-test case {index}: forensics localized the divergence "
+                f"to round {diff.round} (seq {diff.seq}, kind {diff.kind}):"
+            )
+            print(diff.render())
     finally:
         uninstall()
     print(f"self-test: injected nondeterminism caught on all {args.cases} case(s)")

@@ -29,9 +29,26 @@ from repro.utils.profiling import Profiler
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.checkpoint.snapshot import SimulationSnapshot
     from repro.observability.metrics import MetricsRegistry
+    from repro.observability.status import CellStatusWriter
     from repro.observability.trace import TraceEmitter
 
 __all__ = ["build_nodes", "resume_experiment", "run_experiment"]
+
+
+def _attach_heartbeat(simulator: Simulator, heartbeat: "CellStatusWriter") -> None:
+    """Wire a status heartbeat onto the engine's round-end observer hook.
+
+    ``heartbeat`` is duck-typed (``on_round(rounds_completed)``); the engine
+    updates ``result.rounds_completed`` *before* emitting the round-end event
+    in both execution modes, so the callback always reports settled progress.
+    Observer hooks fire regardless of whether anyone listens, so attaching a
+    heartbeat cannot perturb RNG order or results.
+    """
+
+    def _on_round_end(round_index: int, node_id: int | None, now: float) -> None:
+        heartbeat.on_round(simulator.result.rounds_completed)
+
+    simulator.on_round_end(_on_round_end)
 
 
 def run_experiment(
@@ -46,6 +63,7 @@ def run_experiment(
     spec: dict[str, Any] | None = None,
     metrics: "MetricsRegistry | None" = None,
     trace: "TraceEmitter | None" = None,
+    heartbeat: "CellStatusWriter | None" = None,
 ) -> ExperimentResult:
     """Run one decentralized-learning experiment and return its metrics.
 
@@ -68,13 +86,24 @@ def run_experiment(
     orchestration cell that produced them.  All default to off, in which case
     behaviour is bit-identical to a build without checkpointing.
 
-    ``metrics`` and ``trace`` attach the observability layer (see
-    :mod:`repro.observability`): a live registry collects run counters and a
-    trace emitter receives one structured record per round/message/evaluation
-    event.  Both are pure telemetry — the returned result and any persisted
-    store rows are byte-identical with them on or off.
+    ``metrics``, ``trace`` and ``heartbeat`` attach the observability layer
+    (see :mod:`repro.observability`): a live registry collects run counters,
+    a trace emitter receives one structured record per round/message/
+    evaluation event, and a status heartbeat (a
+    :class:`~repro.observability.status.CellStatusWriter`) reports live
+    progress — current round and last checkpoint round — through the
+    observer hooks.  All are pure telemetry — the returned result and any
+    persisted store rows are byte-identical with them on or off.
     """
 
+    if heartbeat is not None and checkpoint_sink is not None:
+        inner_sink = checkpoint_sink
+
+        def _sink_with_heartbeat(snapshot: "SimulationSnapshot") -> None:
+            inner_sink(snapshot)
+            heartbeat.on_checkpoint(int(snapshot.rounds_completed))
+
+        checkpoint_sink = _sink_with_heartbeat
     simulator = Simulator(
         task,
         scheme_factory,
@@ -88,6 +117,8 @@ def run_experiment(
         metrics=metrics,
         trace=trace,
     )
+    if heartbeat is not None:
+        _attach_heartbeat(simulator, heartbeat)
     return simulator.run()
 
 
@@ -103,6 +134,7 @@ def resume_experiment(
     spec: dict[str, Any] | None = None,
     metrics: "MetricsRegistry | None" = None,
     trace: "TraceEmitter | None" = None,
+    heartbeat: "CellStatusWriter | None" = None,
 ) -> ExperimentResult:
     """Continue a checkpointed experiment from ``snapshot`` to completion.
 
@@ -126,4 +158,5 @@ def resume_experiment(
         spec=spec,
         metrics=metrics,
         trace=trace,
+        heartbeat=heartbeat,
     )

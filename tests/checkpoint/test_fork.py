@@ -7,10 +7,13 @@ from both the parent's and a from-scratch run of the mutated configuration.
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.checkpoint import CheckpointManager, preemption
 from repro.exceptions import CheckpointError, ConfigurationError
+from repro.observability.trace import TraceEmitter
 from repro.orchestration import (
     ExperimentSpec,
     ResultStore,
@@ -114,6 +117,39 @@ def test_scenario_fork_produces_valid_distinct_row(paused, tmp_path):
     reloaded = ResultStore(tmp_path / "forks.jsonl")
     assert reloaded.get(forked_spec).to_dict() == forked_result.to_dict()
     assert reloaded.get_spec(forked_spec.content_hash()).lineage == forked_spec.lineage
+
+
+def test_fork_trace_dir_never_clobbers_the_parent_cell_trace(paused, tmp_path):
+    """Regression: a fork traced into the parent sweep's --trace directory used
+    to need an explicit filename; deriving it from the *forked* spec's hash
+    (lineage included) guarantees it can never overwrite the parent's file."""
+
+    spec, snapshot = paused
+    trace_dir = tmp_path / "traces"
+    trace_dir.mkdir()
+    parent_trace = trace_dir / f"{spec.content_hash()}.trace.jsonl"
+    parent_trace.write_text('{"kind": "manifest"}\n', encoding="utf-8")
+    parent_bytes = parent_trace.read_bytes()
+
+    forked_spec, _ = run_fork(snapshot, trace_dir=trace_dir)
+
+    assert forked_spec.content_hash() != spec.content_hash()
+    forked_trace = trace_dir / f"{forked_spec.content_hash()}.trace.jsonl"
+    assert forked_trace.exists() and forked_trace != parent_trace
+    assert parent_trace.read_bytes() == parent_bytes  # untouched
+    lines = forked_trace.read_text(encoding="utf-8").splitlines()
+    assert json.loads(lines[0])["kind"] == "manifest"
+    assert json.loads(lines[-1])["kind"] == "run_end"
+
+
+def test_fork_rejects_trace_and_trace_dir_together(paused, tmp_path):
+    spec, snapshot = paused
+    with pytest.raises(ConfigurationError):
+        run_fork(
+            snapshot,
+            trace=TraceEmitter(tmp_path / "x.trace.jsonl"),
+            trace_dir=tmp_path,
+        )
 
 
 def test_fork_can_extend_the_round_budget(paused):

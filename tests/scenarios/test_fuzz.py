@@ -23,6 +23,7 @@ from repro.scenarios.fuzz import (
     ORACLES,
     FuzzCase,
     _oracle_rerun,
+    forensics_for_case,
     generate_case,
     install_chaos,
     main,
@@ -181,6 +182,29 @@ def test_injected_chaos_is_caught_and_shrunk_in_process():
         uninstall()
     # With the chaos uninstalled the same case is deterministic again.
     assert _oracle_rerun(case, "movielens", "jwins") is None
+
+
+def test_forensics_localize_injected_chaos_to_a_round():
+    """The root-cause pipeline: chaos -> traced re-run -> divergent record."""
+
+    case = generate_case(0, 0, ensure_byzantine=True)
+    uninstall = install_chaos()
+    try:
+        diff = forensics_for_case(case, "movielens", "jwins", oracle="rerun")
+    finally:
+        uninstall()
+    assert diff is not None and not diff.identical
+    assert isinstance(diff.round, int)  # the divergent round is named
+    assert diff.seq is not None and diff.kind is not None
+    assert diff.drifts, "the divergent record must name at least one field"
+    rendered = diff.render()
+    assert "first divergent record" in rendered
+    assert "origin:" in rendered
+
+
+def test_forensics_return_none_when_traces_agree():
+    case = generate_case(0, 0)
+    assert forensics_for_case(case, "movielens", "jwins", oracle="rerun") is None
 
 
 # -- the CLI entry point -----------------------------------------------------------

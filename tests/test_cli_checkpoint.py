@@ -239,6 +239,21 @@ def test_fork_unchanged_and_with_scenario(tmp_path, capsys):
         assert reloaded.get_spec(key).lineage is not None
 
 
+def test_fork_trace_into_a_directory_uses_the_forked_hash(tmp_path, capsys):
+    snapshot_path = make_paused_snapshot(tmp_path)
+    trace_dir = tmp_path / "traces"
+    trace_dir.mkdir()
+    capsys.readouterr()
+    assert main(["fork", "--snapshot", snapshot_path, "--trace", str(trace_dir)]) == 0
+    output = capsys.readouterr().out
+    traces = list(trace_dir.glob("*.trace.jsonl"))
+    assert len(traces) == 1
+    assert f"trace written to {traces[0]}" in output
+    lines = traces[0].read_text(encoding="utf-8").splitlines()
+    assert json.loads(lines[0])["kind"] == "manifest"
+    assert json.loads(lines[-1])["kind"] == "run_end"
+
+
 def test_fork_missing_snapshot_exits_cleanly(tmp_path):
     with pytest.raises(SystemExit, match="cannot read snapshot"):
         main(["fork", "--snapshot", str(tmp_path / "absent.json")])

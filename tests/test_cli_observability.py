@@ -1,0 +1,172 @@
+"""CLI coverage for the observability surface: trace diff, summarize-dir,
+``top``, and the ``--status`` heartbeat flags.
+
+Same contract as the rest of the CLI suite: failure paths exit through a clean
+``SystemExit`` message, success paths return 0 — except ``trace diff``, whose
+exit code *is* the verdict (0 identical, 1 divergent), mirroring ``cmp``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.checkpoint import preemption
+from repro.cli import main
+from repro.observability.status import load_status
+
+RUN_ARGS = [
+    "run",
+    "--workload", "movielens",
+    "--scheme", "jwins",
+    "--nodes", "4", "--degree", "2", "--rounds", "2", "--seed", "3",
+]
+
+SWEEP_ARGS = [
+    "sweep",
+    "--workload", "movielens",
+    "--scheme", "jwins", "full-sharing",
+    "--nodes", "4", "--degree", "2", "--rounds", "2",
+]
+
+
+@pytest.fixture(autouse=True)
+def clean_preemption():
+    preemption.reset()
+    yield
+    preemption.reset()
+
+
+def _traced_sweep(tmp_path, name: str) -> Path:
+    trace_dir = tmp_path / name
+    store = tmp_path / f"{name}.jsonl"
+    assert main([*SWEEP_ARGS, "--store", str(store), "--trace", str(trace_dir)]) == 0
+    return trace_dir
+
+
+def _tampered_copy(trace_path: Path, out_path: Path) -> None:
+    """Rewrite one evaluate record's loss: a minimal synthetic divergence."""
+
+    lines = trace_path.read_text(encoding="utf-8").splitlines()
+    for index, line in enumerate(lines):
+        record = json.loads(line)
+        if record.get("kind") == "evaluate":
+            record["loss"] += 1e-3
+            lines[index] = json.dumps(record, sort_keys=True)
+            break
+    else:  # pragma: no cover - trace always evaluates
+        raise AssertionError("no evaluate record to tamper with")
+    out_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+# -- trace diff -----------------------------------------------------------------------
+def test_trace_diff_identical_runs_exit_zero(tmp_path, capsys):
+    dir_a = _traced_sweep(tmp_path, "a")
+    dir_b = _traced_sweep(tmp_path, "b")
+    names = sorted(path.name for path in dir_a.glob("*.trace.jsonl"))
+    assert names == sorted(path.name for path in dir_b.glob("*.trace.jsonl"))
+    capsys.readouterr()
+    assert main(["trace", "diff", str(dir_a / names[0]), str(dir_b / names[0])]) == 0
+    assert "IDENTICAL" in capsys.readouterr().out
+
+
+def test_trace_diff_divergence_exits_one_with_forensics(tmp_path, capsys):
+    dir_a = _traced_sweep(tmp_path, "a")
+    original = next(iter(sorted(dir_a.glob("*.trace.jsonl"))))
+    tampered = tmp_path / "tampered.trace.jsonl"
+    _tampered_copy(original, tampered)
+    capsys.readouterr()
+    assert main(["trace", "diff", str(original), str(tampered)]) == 1
+    output = capsys.readouterr().out
+    assert "first divergent record" in output
+    assert "field 'loss'" in output
+    assert "origin:" in output
+
+
+def test_trace_diff_json_output_is_machine_readable(tmp_path, capsys):
+    dir_a = _traced_sweep(tmp_path, "a")
+    original = next(iter(sorted(dir_a.glob("*.trace.jsonl"))))
+    tampered = tmp_path / "tampered.trace.jsonl"
+    _tampered_copy(original, tampered)
+    capsys.readouterr()
+    assert main(["trace", "diff", "--json", str(original), str(tampered)]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["identical"] is False
+    assert document["kind"] == "evaluate"
+    assert any(drift["field"] == "loss" for drift in document["drifts"])
+
+
+def test_trace_diff_missing_operands_exit_cleanly(tmp_path):
+    present = tmp_path / "x.trace.jsonl"
+    present.write_text('{"kind": "manifest", "seq": 0}\n', encoding="utf-8")
+    with pytest.raises(SystemExit, match="two traces"):
+        main(["trace", "diff", str(present)])
+    with pytest.raises(SystemExit, match="does not exist"):
+        main(["trace", "diff", str(present), str(tmp_path / "absent.jsonl")])
+
+
+# -- trace summarize on a sweep directory ---------------------------------------------
+def test_trace_summarize_accepts_a_sweep_directory(tmp_path, capsys):
+    trace_dir = _traced_sweep(tmp_path, "a")
+    capsys.readouterr()
+    assert main(["trace", "summarize", str(trace_dir)]) == 0
+    output = capsys.readouterr().out
+    assert "2 cell trace(s)" in output
+    assert "totals:" in output
+    assert "jwins" in output and "full-sharing" in output
+
+
+def test_trace_summarize_rejects_two_paths(tmp_path):
+    trace_dir = _traced_sweep(tmp_path, "a")
+    with pytest.raises(SystemExit, match="single path"):
+        main(["trace", "summarize", str(trace_dir), str(trace_dir)])
+
+
+# -- the --status heartbeat -----------------------------------------------------------
+def test_sweep_status_flag_leaves_a_terminal_document(tmp_path, capsys):
+    status_dir = tmp_path / "status"
+    store = tmp_path / "store.jsonl"
+    assert main([*SWEEP_ARGS, "--store", str(store), "--status", str(status_dir)]) == 0
+    document = load_status(status_dir)
+    assert document["state"] == "done"
+    assert len(document["cells"]) == 2
+    assert all(cell["state"] == "done" for cell in document["cells"].values())
+    # Labels carry the sweep axes, not bare hashes.
+    assert any("movielens" in cell["label"] for cell in document["cells"].values())
+
+
+def test_run_status_flag_leaves_a_terminal_document(tmp_path, capsys):
+    status_dir = tmp_path / "status"
+    assert main([*RUN_ARGS, "--status", str(status_dir)]) == 0
+    document = load_status(status_dir)
+    assert document["state"] == "done"
+    assert all(cell["state"] == "done" for cell in document["cells"].values())
+
+
+def test_status_flag_does_not_change_stored_bytes(tmp_path, capsys):
+    bare = tmp_path / "bare.jsonl"
+    monitored = tmp_path / "monitored.jsonl"
+    assert main([*SWEEP_ARGS, "--store", str(bare)]) == 0
+    assert main(
+        [*SWEEP_ARGS, "--store", str(monitored), "--status", str(tmp_path / "status")]
+    ) == 0
+    assert bare.read_bytes() == monitored.read_bytes()
+
+
+# -- top ------------------------------------------------------------------------------
+def test_top_once_renders_a_finished_sweep(tmp_path, capsys):
+    status_dir = tmp_path / "status"
+    store = tmp_path / "store.jsonl"
+    assert main([*SWEEP_ARGS, "--store", str(store), "--status", str(status_dir)]) == 0
+    capsys.readouterr()
+    assert main(["top", str(status_dir), "--once"]) == 0
+    output = capsys.readouterr().out
+    assert "state=done" in output
+    assert "cells:" in output
+
+
+def test_top_once_missing_directory_exits_one(tmp_path, capsys):
+    assert main(["top", str(tmp_path / "absent"), "--once"]) == 1
+    assert "no status document" in capsys.readouterr().out
